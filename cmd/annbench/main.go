@@ -1,0 +1,55 @@
+// Command annbench is the free-form evaluation harness: run any method (or
+// all of them) on any of the nine data set / distance combinations and
+// report recall, improvement in efficiency, query time, build time and
+// index size.
+//
+// Usage:
+//
+//	annbench -dataset sift [-method napp] [-n 5000] [-queries 100] [-folds 1] [-k 10]
+//	annbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "data set name (required unless -list)")
+	method := flag.String("method", "", "comma-separated methods (default: all for the data set)")
+	n := flag.Int("n", 5000, "points")
+	queries := flag.Int("queries", 100, "query count per split")
+	folds := flag.Int("folds", 1, "random splits")
+	k := flag.Int("k", 10, "neighbors per query")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list data sets and their methods, then exit")
+	flag.Parse()
+
+	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed}
+	if *list {
+		for _, name := range experiments.Names() {
+			r, _ := experiments.Get(name)
+			fmt.Printf("%s (%s): %s\n", name, r.Distance(), strings.Join(r.Methods(cfg), ", "))
+		}
+		return
+	}
+	r, ok := experiments.Get(*dataset)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "annbench: unknown dataset %q (known: %s)\n",
+			*dataset, strings.Join(experiments.Names(), ", "))
+		os.Exit(2)
+	}
+	var methods []string
+	if *method != "" {
+		methods = strings.Split(*method, ",")
+	}
+	fmt.Println("# dataset\tmethod\tparams\trecall\timprovement\tquery-time\tbuild-time\tindex-size")
+	if err := r.RunMethods(cfg, methods, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "annbench: %v\n", err)
+		os.Exit(1)
+	}
+}

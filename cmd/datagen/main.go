@@ -1,0 +1,108 @@
+// Command datagen generates the synthetic data sets and prints summary
+// statistics (and optionally a few sample records), so the substitution
+// generators behind Table 1 can be inspected directly.
+//
+// Usage:
+//
+//	datagen -dataset dna -n 1000 [-samples 3] [-seed 1]
+//	datagen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	name := flag.String("dataset", "", "data set name (required unless -list)")
+	n := flag.Int("n", 1000, "records to generate")
+	samples := flag.Int("samples", 0, "print this many sample records")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list generators, then exit")
+	flag.Parse()
+
+	names := []string{"sift", "cophir", "imagenet", "wiki-sparse", "wiki-8", "wiki-128", "dna"}
+	if *list {
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	switch *name {
+	case "sift":
+		summarizeDense(dataset.SIFT(*seed, *n), *samples)
+	case "cophir":
+		summarizeDense(dataset.CoPhIR(*seed, *n), *samples)
+	case "imagenet":
+		sigs := dataset.ImageNet(*seed, *n, dataset.SignatureOptions{})
+		var clusters int
+		for _, s := range sigs {
+			clusters += s.Clusters()
+		}
+		fmt.Printf("records=%d avg-clusters=%.1f dim=%d\n",
+			len(sigs), float64(clusters)/float64(len(sigs)), sigs[0].Dim)
+		for i := 0; i < *samples && i < len(sigs); i++ {
+			fmt.Printf("sample %d: %d clusters, weights %v\n", i, sigs[i].Clusters(), sigs[i].Weights)
+		}
+	case "wiki-sparse":
+		docs := dataset.WikiSparse(*seed, *n, dataset.WikiSparseOptions{})
+		var nnz int
+		for _, d := range docs {
+			nnz += d.NNZ()
+		}
+		fmt.Printf("records=%d avg-nnz=%.1f vocab=100000\n", len(docs), float64(nnz)/float64(len(docs)))
+		for i := 0; i < *samples && i < len(docs); i++ {
+			fmt.Printf("sample %d: %d terms, norm %.3f\n", i, docs[i].NNZ(), docs[i].Norm)
+		}
+	case "wiki-8", "wiki-128":
+		topics := 8
+		if *name == "wiki-128" {
+			topics = 128
+		}
+		docs := dataset.WikiLDA(*seed, *n, topics)
+		fmt.Printf("records=%d topics=%d\n", len(docs), topics)
+		for i := 0; i < *samples && i < len(docs); i++ {
+			fmt.Printf("sample %d: %v\n", i, docs[i].P[:min(8, topics)])
+		}
+	case "dna":
+		seqs := dataset.DNA(*seed, *n, dataset.DNAOptions{})
+		lens := make([]int, len(seqs))
+		total := 0
+		for i, s := range seqs {
+			lens[i] = len(s)
+			total += len(s)
+		}
+		sort.Ints(lens)
+		fmt.Printf("records=%d mean-len=%.1f median-len=%d\n",
+			len(seqs), float64(total)/float64(len(seqs)), lens[len(lens)/2])
+		for i := 0; i < *samples && i < len(seqs); i++ {
+			fmt.Printf("sample %d: %s\n", i, seqs[i])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown dataset %q (known: %s)\n",
+			*name, strings.Join(names, ", "))
+		os.Exit(2)
+	}
+}
+
+func summarizeDense(vs [][]float32, samples int) {
+	lo, hi := vs[0][0], vs[0][0]
+	for _, v := range vs {
+		for _, x := range v {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	fmt.Printf("records=%d dim=%d value-range=[%.1f, %.1f]\n", len(vs), len(vs[0]), lo, hi)
+	for i := 0; i < samples && i < len(vs); i++ {
+		fmt.Printf("sample %d: %v...\n", i, vs[i][:min(8, len(vs[i]))])
+	}
+}

@@ -1,0 +1,51 @@
+// Command figure2 regenerates the data behind Figure 2 of the paper:
+// original-space distances vs projected-space distances for random
+// projections and permutation projections, sampled from two strata (random
+// pairs and 100-NN pairs).
+//
+// Output columns: dataset, kind (perm|rand), stratum (random|nn),
+// original-distance, projected-distance.
+//
+// Usage:
+//
+//	figure2 [-n 2000] [-dim 64] [-pairs 250] [-seed 1] [-datasets ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "points per data set (the paper samples from 1M)")
+	dim := flag.Int("dim", 64, "projection dimensionality (paper: 64)")
+	pairs := flag.Int("pairs", 250, "sample pairs per stratum")
+	seed := flag.Int64("seed", 1, "random seed")
+	datasets := flag.String("datasets", "", "comma-separated subset (default: the paper's panels)")
+	flag.Parse()
+
+	// The paper's eight panels: rand-proj for SIFT and Wiki-sparse, perm
+	// for the rest (the runners emit both kinds where applicable).
+	names := []string{"sift", "wiki-sparse", "wiki-8-kl", "dna", "wiki-128-kl", "wiki-128-js"}
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+	cfg := experiments.Config{N: *n, Seed: *seed}
+	fmt.Println("# Figure 2: dataset\tkind\tstratum\toriginal\tprojected")
+	for _, name := range names {
+		r, ok := experiments.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figure2: unknown dataset %q (known: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := r.Figure2(cfg, *dim, *pairs, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figure2: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

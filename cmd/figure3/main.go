@@ -1,0 +1,61 @@
+// Command figure3 regenerates the data behind Figure 3 of the paper: the
+// fraction of candidate records that must be scanned, in projected-space
+// order, to reach a given 10-NN recall, for projections of several
+// dimensionalities.
+//
+// Output columns: dataset, kind (perm|rand), dim, recall, fraction.
+//
+// Usage:
+//
+//	figure3 [-n 2000] [-queries 100] [-k 10] [-dims 16,64,256,1024] [-datasets ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 2000, "points per data set (the paper uses 1M)")
+	queries := flag.Int("queries", 100, "query count")
+	k := flag.Int("k", 10, "neighbors per query")
+	seed := flag.Int64("seed", 1, "random seed")
+	dimsFlag := flag.String("dims", "16,64,256,1024", "projection dimensionalities")
+	datasets := flag.String("datasets", "", "comma-separated subset (default: the paper's panels)")
+	flag.Parse()
+
+	var dims []int
+	for _, s := range strings.Split(*dimsFlag, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "figure3: bad dimension %q\n", s)
+			os.Exit(2)
+		}
+		dims = append(dims, d)
+	}
+
+	// The paper's nine panels.
+	names := []string{"sift", "wiki-sparse", "wiki-8-kl", "wiki-128-kl", "dna", "imagenet", "wiki-128-js"}
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+	cfg := experiments.Config{N: *n, Queries: *queries, K: *k, Seed: *seed}
+	fmt.Println("# Figure 3: dataset\tkind\tdim\trecall\tfraction")
+	for _, name := range names {
+		r, ok := experiments.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figure3: unknown dataset %q (known: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := r.Figure3(cfg, dims, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figure3: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command figure4 regenerates the data behind Figure 4, the paper's main
+// result: improvement in efficiency (brute-force time / method time) vs
+// 10-NN recall, per method, per data set, averaged over random splits.
+//
+// Output columns: dataset, method, params, recall, improvement,
+// query-time, build-time, index-size.
+//
+// Usage:
+//
+//	figure4 [-n 5000] [-queries 100] [-folds 1] [-k 10] [-datasets ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "points per data set (the paper uses 1-5M)")
+	queries := flag.Int("queries", 100, "query count per split")
+	folds := flag.Int("folds", 1, "random splits (paper: 5)")
+	k := flag.Int("k", 10, "neighbors per query")
+	seed := flag.Int64("seed", 1, "random seed")
+	datasets := flag.String("datasets", "", "comma-separated subset (default: all nine)")
+	flag.Parse()
+
+	names := experiments.Names()
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed}
+	fmt.Println("# Figure 4: dataset\tmethod\tparams\trecall\timprovement\tquery-time\tbuild-time\tindex-size")
+	for _, name := range names {
+		r, ok := experiments.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figure4: unknown dataset %q (known: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := r.Figure4(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "figure4: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command table1 regenerates Table 1 of the paper (data set summary: name,
+// distance, record count, single-thread brute-force 10-NN query time,
+// in-memory size, dimensionality) over the synthetic data sets.
+//
+// Usage:
+//
+//	table1 [-n 5000] [-queries 100] [-k 10] [-seed 1] [-datasets sift,dna,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "points per data set")
+	queries := flag.Int("queries", 100, "query count")
+	k := flag.Int("k", 10, "neighbors per query")
+	seed := flag.Int64("seed", 1, "random seed")
+	datasets := flag.String("datasets", "", "comma-separated subset (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Config{N: *n, Queries: *queries, K: *k, Seed: *seed}
+	names := experiments.Names()
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+	fmt.Println("# Table 1: dataset\tdistance\trecords\tbrute-force-10NN\tin-memory\tdims")
+	for _, name := range names {
+		r, ok := experiments.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "table1: unknown dataset %q (known: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := r.Table1(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "table1: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

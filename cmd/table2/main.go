@@ -1,0 +1,43 @@
+// Command table2 regenerates Table 2 of the paper: index size and creation
+// time for every method on every data set.
+//
+// Usage:
+//
+//	table2 [-n 5000] [-seed 1] [-datasets sift,dna,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	n := flag.Int("n", 5000, "points per data set")
+	k := flag.Int("k", 10, "neighbors per query (affects method defaults)")
+	seed := flag.Int64("seed", 1, "random seed")
+	datasets := flag.String("datasets", "", "comma-separated subset (default: all)")
+	flag.Parse()
+
+	cfg := experiments.Config{N: *n, K: *k, Seed: *seed}
+	names := experiments.Names()
+	if *datasets != "" {
+		names = strings.Split(*datasets, ",")
+	}
+	fmt.Println("# Table 2: dataset\tmethod\tindex-size\tcreation-time")
+	for _, name := range names {
+		r, ok := experiments.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "table2: unknown dataset %q (known: %s)\n",
+				name, strings.Join(experiments.Names(), ", "))
+			os.Exit(2)
+		}
+		if err := r.Table2(cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "table2: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

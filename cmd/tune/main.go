@@ -1,0 +1,37 @@
+// Command tune reproduces the paper's parameter-tuning procedures (§3.2,
+// §3.3): parameters are chosen on a subset of the data so that recall lands
+// in the 0.85-0.95 band. Two tuners are exposed:
+//
+//	tune -what vptree -dataset wiki-8-kl -target 0.9   # pruning stretch alpha
+//	tune -what napp   -dataset sift      -target 0.9   # minimum shared pivots t
+//
+// The result is printed as the flag setting to pass to the other tools.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	what := flag.String("what", "vptree", "which tuner: vptree or napp")
+	ds := flag.String("dataset", "sift", "data set name")
+	n := flag.Int("n", 2000, "tuning subset size")
+	queries := flag.Int("queries", 100, "tuning queries")
+	k := flag.Int("k", 10, "neighbors per query")
+	target := flag.Float64("target", 0.9, "recall target")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := experiments.Config{N: *n, Queries: *queries, K: *k, Seed: *seed}
+	res, err := experiments.Tune(*ds, *what, cfg, *target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tune: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("dataset=%s method=%s %s (recall %.3f at target %.2f)\n",
+		*ds, *what, res.Setting, res.Recall, *target)
+}

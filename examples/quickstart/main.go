@@ -1,0 +1,69 @@
+// Quickstart: build a NAPP index over synthetic SIFT-like descriptors,
+// answer a 10-NN query, and compare against the exact answer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	permsearch "repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	// 1. Data: 20k synthetic 128-d SIFT-like descriptors (the library
+	// is data-agnostic; any [][]float32 works here).
+	const n = 20000
+	data := dataset.SIFT(42, n)
+	query := data[n-1]
+	db := data[:n-1]
+
+	// 2. Build the index. NAPP (§2.3 of the paper) posts each point to
+	// the inverted lists of its 16 closest pivots out of 512.
+	start := time.Now()
+	idx, err := permsearch.NewNAPP[[]float32](permsearch.L2{}, db, permsearch.NAPPOptions{
+		NumPivots:     512,
+		NumPivotIndex: 16,
+		MinShared:     2, // candidates must share >= 2 pivots with the query
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built NAPP over %d points in %v\n", len(db), time.Since(start))
+
+	// 3. Search.
+	start = time.Now()
+	approx := idx.Search(query, 10)
+	approxTime := time.Since(start)
+
+	// 4. Compare with the exact sequential scan.
+	scan := permsearch.NewSeqScan[[]float32](permsearch.L2{}, db)
+	start = time.Now()
+	exact := scan.Search(query, 10)
+	exactTime := time.Since(start)
+
+	truth := map[uint32]bool{}
+	for _, nb := range exact {
+		truth[nb.ID] = true
+	}
+	hits := 0
+	for _, nb := range approx {
+		if truth[nb.ID] {
+			hits++
+		}
+	}
+	fmt.Printf("10-NN of point %d:\n", n-1)
+	for i, nb := range approx {
+		marker := " "
+		if truth[nb.ID] {
+			marker = "*"
+		}
+		fmt.Printf("  %2d. id=%-6d dist=%-8.2f %s\n", i+1, nb.ID, nb.Dist, marker)
+	}
+	fmt.Printf("recall %d/10, NAPP %v vs exact scan %v (%.1fx faster)\n",
+		hits, approxTime, exactTime, float64(exactTime)/float64(approxTime))
+}

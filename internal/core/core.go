@@ -1,0 +1,140 @@
+// Package core implements the permutation-based k-NN search methods that are
+// the subject of the paper (§2): brute-force filtering of permutations (full
+// and binarized), the Permutation Prefix Index (PP-index), the Metric
+// Inverted File (MI-file), the Neighborhood APProximation index (NAPP),
+// indexing permutations in a VP-tree (Figueroa & Fredriksson), and Fagin et
+// al.'s OMEDRANK rank-aggregation baseline.
+//
+// All methods are filter-and-refine: the filtering stage selects candidate
+// identifiers using only precomputed permutation information, and the refine
+// stage re-ranks the candidates with the true distance. The number of
+// candidates is controlled by a gamma parameter expressed as a fraction of
+// the data set size, exactly as in §2.2 of the paper.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/permutation"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// PermDist selects the distance used to compare permutations in the
+// filtering stage.
+type PermDist int
+
+const (
+	// Rho is Spearman's rho (sum of squared rank differences), the most
+	// effective choice per §2.1 and the default everywhere.
+	Rho PermDist = iota
+	// FootruleDist is the Footrule (sum of absolute rank differences).
+	FootruleDist
+)
+
+// String returns the report name of the permutation distance.
+func (d PermDist) String() string {
+	switch d {
+	case Rho:
+		return "spearman-rho"
+	case FootruleDist:
+		return "footrule"
+	default:
+		return fmt.Sprintf("PermDist(%d)", int(d))
+	}
+}
+
+// distance returns the comparison between flattened permutation rows.
+func (d PermDist) distance(a, b []int32) float64 {
+	switch d {
+	case FootruleDist:
+		return permutation.Footrule(a, b)
+	default:
+		return permutation.SpearmanRho(a, b)
+	}
+}
+
+// gammaCount converts a candidate fraction into an absolute candidate count,
+// clamped to [k, n] so a query can always be answered.
+func gammaCount(frac float64, n, k int) int {
+	g := int(frac * float64(n))
+	if g < k {
+		g = k
+	}
+	if g > n {
+		g = n
+	}
+	return g
+}
+
+// refine computes true distances from the candidates to the query and
+// returns the k nearest, ordered by increasing distance. Candidate ids must
+// be unique. Data points are the left distance argument (left queries).
+func refine[T any](sp space.Space[T], data []T, query T, cands []uint32, k int) []topk.Neighbor {
+	q := topk.NewQueue(k)
+	for _, id := range cands {
+		q.Push(id, sp.Distance(data[id], query))
+	}
+	return q.Results()
+}
+
+// parallelFor runs f(i) for every i in [0, n) on up to GOMAXPROCS
+// goroutines. Iterations must be independent.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// computePermutations returns the flattened n x m matrix of permutations of
+// every data point, computed in parallel (the paper builds permutation
+// indexes with four threads; we use GOMAXPROCS).
+func computePermutations[T any](pv *permutation.Pivots[T], data []T) []int32 {
+	m := pv.M()
+	out := make([]int32, len(data)*m)
+	parallelFor(len(data), func(i int) {
+		pv.Permutation(data[i], out[i*m:i*m+m])
+	})
+	return out
+}
+
+// computeOrders returns the flattened n x mi matrix holding, for each data
+// point, the indices of its mi closest pivots (closest first).
+func computeOrders[T any](pv *permutation.Pivots[T], data []T, mi int) []int32 {
+	m := pv.M()
+	if mi > m {
+		mi = m
+	}
+	out := make([]int32, len(data)*mi)
+	parallelFor(len(data), func(i int) {
+		order := pv.Order(data[i], nil)
+		copy(out[i*mi:(i+1)*mi], order[:mi])
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/index"
+	"repro/internal/permutation"
+	"repro/internal/space"
+	"repro/internal/topk"
+	"repro/internal/vecmath"
+)
+
+// DistVecFilter is the ablation counterpart of BruteForceFilter: instead of
+// converting the vector of pivot distances into a permutation (rank vector),
+// it keeps the raw distances and filters by L2 between distance vectors.
+// §2.1 of the paper reports that the rank conversion — despite losing
+// information — performs slightly *better*; this index exists so that claim
+// can be re-verified (BenchmarkAblation_PermVsDistVec and the corresponding
+// test).
+type DistVecFilter[T any] struct {
+	sp     space.Space[T]
+	data   []T
+	pivots *permutation.Pivots[T]
+	vecs   []float32 // flattened n x m raw distances
+	opts   BruteForceOptions
+}
+
+// NewDistVecFilter samples pivots and stores raw pivot-distance vectors.
+// The options are shared with BruteForceFilter; Dist is ignored (the filter
+// always compares by L2 between distance vectors).
+func NewDistVecFilter[T any](sp space.Space[T], data []T, opts BruteForceOptions) (*DistVecFilter[T], error) {
+	opts.defaults()
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty data set")
+	}
+	if opts.NumPivots > len(data) {
+		opts.NumPivots = len(data)
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	pv, err := permutation.Sample(r, sp, data, opts.NumPivots)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling pivots: %w", err)
+	}
+	m := pv.M()
+	vecs := make([]float32, len(data)*m)
+	parallelFor(len(data), func(i int) {
+		ds := pv.Distances(data[i], nil)
+		for j, d := range ds {
+			vecs[i*m+j] = float32(d)
+		}
+	})
+	return &DistVecFilter[T]{sp: sp, data: data, pivots: pv, vecs: vecs, opts: opts}, nil
+}
+
+// Name implements index.Index.
+func (f *DistVecFilter[T]) Name() string { return "distvec-filt" }
+
+// Stats implements index.Sized.
+func (f *DistVecFilter[T]) Stats() index.Stats {
+	return index.Stats{
+		Bytes:          int64(len(f.vecs)) * 4,
+		BuildDistances: int64(len(f.data)) * int64(f.pivots.M()),
+	}
+}
+
+// SetGamma adjusts the candidate fraction without rebuilding.
+func (f *DistVecFilter[T]) SetGamma(gamma float64) {
+	if gamma > 0 {
+		f.opts.Gamma = gamma
+	}
+}
+
+// Search implements index.Index.
+func (f *DistVecFilter[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	m := f.pivots.M()
+	qd := f.pivots.Distances(query, nil)
+	qv := make([]float32, m)
+	for j, d := range qd {
+		qv[j] = float32(d)
+	}
+	n := len(f.data)
+	g := gammaCount(f.opts.Gamma, n, k)
+	cands := make([]topk.Neighbor, n)
+	for i := 0; i < n; i++ {
+		cands[i] = topk.Neighbor{
+			ID:   uint32(i),
+			Dist: vecmath.L2Sqr(qv, f.vecs[i*m:(i+1)*m]),
+		}
+	}
+	best := topk.SelectK(cands, g)
+	ids := make([]uint32, len(best))
+	for i, c := range best {
+		ids[i] = c.ID
+	}
+	return refine(f.sp, f.data, query, ids, k)
+}

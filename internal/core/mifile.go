@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/permutation"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// MIFileOptions configures NewMIFile.
+type MIFileOptions struct {
+	// NumPivots is the total pivot count m. Default 128.
+	NumPivots int
+	// NumPivotIndex (mi) is how many closest pivots each point posts
+	// to. Default 32.
+	NumPivotIndex int
+	// NumPivotSearch (ms <= mi) is how many of the query's closest
+	// pivots are used at search time. Default 16.
+	NumPivotSearch int
+	// MaxPosDiff (D) skips postings whose pivot position differs from
+	// the query's by more than D. Posting lists are sorted by position,
+	// so the valid range is located by binary search (§2.3). 0 disables
+	// the optimization.
+	MaxPosDiff int
+	// Gamma is the candidate fraction selected by estimated Footrule.
+	// Default 0.02.
+	Gamma float64
+	// Seed drives pivot sampling.
+	Seed int64
+}
+
+func (o *MIFileOptions) defaults() {
+	if o.NumPivots <= 0 {
+		o.NumPivots = 128
+	}
+	if o.NumPivotIndex <= 0 {
+		o.NumPivotIndex = 32
+	}
+	if o.NumPivotIndex > o.NumPivots {
+		o.NumPivotIndex = o.NumPivots
+	}
+	if o.NumPivotSearch <= 0 {
+		o.NumPivotSearch = 16
+	}
+	if o.NumPivotSearch > o.NumPivotIndex {
+		o.NumPivotSearch = o.NumPivotIndex
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 0.02
+	}
+}
+
+// miPosting is one entry of a positional posting list: the position of the
+// pivot in the permutation induced by the data point, and the point id.
+type miPosting struct {
+	pos int32
+	id  uint32
+}
+
+// MIFile is the Metric Inverted File of Amato & Savino (§2.3): each data
+// point posts its mi closest pivots together with their permutation
+// positions; postings of one pivot are sorted by position. A query reads the
+// posting lists of its ms closest pivots and accumulates a lower-bound
+// estimate of the Footrule distance on truncated permutations; the gamma
+// best candidates are refined with the true distance.
+//
+// Scoring follows the paper exactly: accumulators start at ms*m and each
+// posting (pos(pi, x), x) subtracts m - |pos(pi, x) - pos(pi, q)|, so points
+// never encountered keep the pessimistic maximum.
+type MIFile[T any] struct {
+	sp       space.Space[T]
+	data     []T
+	pivots   *permutation.Pivots[T]
+	postings [][]miPosting
+	opts     MIFileOptions
+}
+
+// NewMIFile samples pivots and builds the positional inverted file.
+func NewMIFile[T any](sp space.Space[T], data []T, opts MIFileOptions) (*MIFile[T], error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty data set")
+	}
+	if opts.NumPivots <= 0 {
+		opts.NumPivots = 128
+	}
+	if opts.NumPivots > len(data) {
+		opts.NumPivots = len(data)
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	pv, err := permutation.Sample(r, sp, data, opts.NumPivots)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling pivots: %w", err)
+	}
+	return NewMIFileWithPivots(sp, data, pv, opts)
+}
+
+// NewMIFileWithPivots builds the index over an explicit pivot set, bypassing
+// random sampling. Tests use it to reproduce the paper's worked example.
+func NewMIFileWithPivots[T any](sp space.Space[T], data []T, pv *permutation.Pivots[T], opts MIFileOptions) (*MIFile[T], error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty data set")
+	}
+	opts.NumPivots = pv.M()
+	opts.defaults()
+	mi := opts.NumPivotIndex
+	orders := computeOrders(pv, data, mi)
+	postings := make([][]miPosting, opts.NumPivots)
+	for i := 0; i < len(data); i++ {
+		for pos, p := range orders[i*mi : (i+1)*mi] {
+			postings[p] = append(postings[p], miPosting{pos: int32(pos), id: uint32(i)})
+		}
+	}
+	for _, list := range postings {
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].pos != list[b].pos {
+				return list[a].pos < list[b].pos
+			}
+			return list[a].id < list[b].id
+		})
+	}
+	return &MIFile[T]{sp: sp, data: data, pivots: pv, postings: postings, opts: opts}, nil
+}
+
+// Name implements index.Index.
+func (mf *MIFile[T]) Name() string { return "mi-file" }
+
+// Stats implements index.Sized.
+func (mf *MIFile[T]) Stats() index.Stats {
+	var cells int64
+	for _, p := range mf.postings {
+		cells += int64(len(p))
+	}
+	return index.Stats{
+		Bytes:          cells*8 + int64(len(mf.postings))*24,
+		BuildDistances: int64(len(mf.data)) * int64(mf.pivots.M()),
+	}
+}
+
+// Options returns the effective (defaulted) parameters.
+func (mf *MIFile[T]) Options() MIFileOptions { return mf.opts }
+
+// Search implements index.Index.
+func (mf *MIFile[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	qorder := mf.pivots.Order(query, nil)
+	m := int32(mf.opts.NumPivots)
+	ms := mf.opts.NumPivotSearch
+
+	// gain[id] accumulates m - |pos_x - pos_q| per shared pivot; the
+	// estimated Footrule on truncated permutations is ms*m - gain, so
+	// ranking by descending gain equals ranking by ascending estimate.
+	gain := make([]int32, len(mf.data))
+	var touched []uint32
+	for qpos := 0; qpos < ms; qpos++ {
+		p := qorder[qpos]
+		list := mf.postings[p]
+		lo, hi := 0, len(list)
+		if d := mf.opts.MaxPosDiff; d > 0 {
+			// Binary search the sorted-by-position list for the
+			// window |pos - qpos| <= D.
+			lo = sort.Search(len(list), func(i int) bool { return list[i].pos >= int32(qpos-d) })
+			hi = sort.Search(len(list), func(i int) bool { return list[i].pos > int32(qpos+d) })
+		}
+		for _, pe := range list[lo:hi] {
+			if gain[pe.id] == 0 {
+				touched = append(touched, pe.id)
+			}
+			diff := pe.pos - int32(qpos)
+			if diff < 0 {
+				diff = -diff
+			}
+			gain[pe.id] += m - diff
+		}
+	}
+
+	g := gammaCount(mf.opts.Gamma, len(mf.data), k)
+	cands := make([]topk.Neighbor, len(touched))
+	for i, id := range touched {
+		// Estimated footrule: smaller is better.
+		cands[i] = topk.Neighbor{ID: id, Dist: float64(int32(ms)*m - gain[id])}
+	}
+	best := topk.SelectK(cands, g)
+	ids := make([]uint32, len(best))
+	for i, c := range best {
+		ids[i] = c.ID
+	}
+	return refine(mf.sp, mf.data, query, ids, k)
+}

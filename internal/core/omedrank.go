@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// OMEDRANKOptions configures NewOMEDRANK.
+type OMEDRANKOptions struct {
+	// NumVoters is the number of voting pivots h. Fagin et al. use few
+	// voters (each ranking all points); default 8.
+	NumVoters int
+	// Quorum is the fraction of voter lists a candidate must appear in
+	// before it is emitted (MEDRANK outputs on a majority). Default 0.5.
+	Quorum float64
+	// Gamma is the candidate fraction: the aggregation loop stops once
+	// gamma*n candidates have crossed the quorum. Default 0.01.
+	Gamma float64
+	// Seed drives voter sampling.
+	Seed int64
+}
+
+func (o *OMEDRANKOptions) defaults() {
+	if o.NumVoters <= 0 {
+		o.NumVoters = 8
+	}
+	if o.Quorum <= 0 || o.Quorum > 1 {
+		o.Quorum = 0.5
+	}
+	if o.Gamma <= 0 {
+		o.Gamma = 0.01
+	}
+}
+
+// omedVoter is one voting pivot: every data point sorted by distance from
+// the pivot.
+type omedVoter struct {
+	dists []float64 // ascending
+	ids   []uint32  // co-sorted with dists
+}
+
+// OMEDRANK is the rank-aggregation method of Fagin, Kumar & Sivakumar
+// (§2.1): each voting pivot ranks all data points by their distance from the
+// pivot; at query time the algorithm walks every voter's list outward from
+// the query's own position and outputs points as soon as they have been seen
+// in a quorum of lists (the "median rank" heuristic for the NP-hard optimal
+// aggregation). The paper benchmarks it as a baseline and finds NAPP more
+// efficient; this implementation refines the aggregated candidates with the
+// true distance so recall is comparable across methods.
+type OMEDRANK[T any] struct {
+	sp     space.Space[T]
+	data   []T
+	pivots []T
+	voters []omedVoter
+	opts   OMEDRANKOptions
+}
+
+// NewOMEDRANK samples voters and sorts the data by distance from each.
+func NewOMEDRANK[T any](sp space.Space[T], data []T, opts OMEDRANKOptions) (*OMEDRANK[T], error) {
+	opts.defaults()
+	if len(data) == 0 {
+		return nil, fmt.Errorf("core: empty data set")
+	}
+	if opts.NumVoters > len(data) {
+		opts.NumVoters = len(data)
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+	om := &OMEDRANK[T]{sp: sp, data: data, opts: opts}
+	for _, vi := range r.Perm(len(data))[:opts.NumVoters] {
+		om.pivots = append(om.pivots, data[vi])
+	}
+	om.voters = make([]omedVoter, opts.NumVoters)
+	parallelFor(opts.NumVoters, func(v int) {
+		voter := omedVoter{
+			dists: make([]float64, len(data)),
+			ids:   make([]uint32, len(data)),
+		}
+		for i, x := range data {
+			voter.dists[i] = sp.Distance(x, om.pivots[v])
+			voter.ids[i] = uint32(i)
+		}
+		sort.Sort(&voterSort{voter})
+		om.voters[v] = voter
+	})
+	return om, nil
+}
+
+// voterSort co-sorts a voter's parallel arrays by (distance, id).
+type voterSort struct{ v omedVoter }
+
+func (s *voterSort) Len() int { return len(s.v.ids) }
+func (s *voterSort) Less(i, j int) bool {
+	if s.v.dists[i] != s.v.dists[j] {
+		return s.v.dists[i] < s.v.dists[j]
+	}
+	return s.v.ids[i] < s.v.ids[j]
+}
+func (s *voterSort) Swap(i, j int) {
+	s.v.dists[i], s.v.dists[j] = s.v.dists[j], s.v.dists[i]
+	s.v.ids[i], s.v.ids[j] = s.v.ids[j], s.v.ids[i]
+}
+
+// Name implements index.Index.
+func (om *OMEDRANK[T]) Name() string { return "omedrank" }
+
+// Stats implements index.Sized.
+func (om *OMEDRANK[T]) Stats() index.Stats {
+	return index.Stats{
+		Bytes:          int64(len(om.voters)) * int64(len(om.data)) * 12,
+		BuildDistances: int64(len(om.voters)) * int64(len(om.data)),
+	}
+}
+
+// Search implements index.Index.
+func (om *OMEDRANK[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	n := len(om.data)
+	h := len(om.voters)
+	need := int(om.opts.Quorum*float64(h)) + 1
+	if need > h {
+		need = h
+	}
+	g := gammaCount(om.opts.Gamma, n, k)
+
+	// Two cursors per voter, starting at the query's position in the
+	// voter's sorted order and moving outward.
+	lo := make([]int, h)
+	hi := make([]int, h)
+	qdist := make([]float64, h)
+	for v, voter := range om.voters {
+		qdist[v] = om.sp.Distance(query, om.pivots[v])
+		pos := sort.SearchFloat64s(voter.dists, qdist[v])
+		lo[v], hi[v] = pos-1, pos
+	}
+	counts := make([]uint16, n)
+	var cands []uint32
+	for len(cands) < g {
+		progressed := false
+		for v := range om.voters {
+			voter := &om.voters[v]
+			// Advance one step in the direction whose next entry
+			// is closer in distance to the query's position.
+			var pick int
+			switch {
+			case lo[v] < 0 && hi[v] >= n:
+				continue
+			case lo[v] < 0:
+				pick = hi[v]
+				hi[v]++
+			case hi[v] >= n:
+				pick = lo[v]
+				lo[v]--
+			default:
+				// Both directions available: take the entry
+				// whose pivot distance is nearer the query's.
+				qd := qdist[v]
+				if qd-voter.dists[lo[v]] <= voter.dists[hi[v]]-qd {
+					pick = lo[v]
+					lo[v]--
+				} else {
+					pick = hi[v]
+					hi[v]++
+				}
+			}
+			progressed = true
+			id := voter.ids[pick]
+			counts[id]++
+			if int(counts[id]) == need {
+				cands = append(cands, id)
+				if len(cands) >= g {
+					break
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return refine(om.sp, om.data, query, cands, k)
+}

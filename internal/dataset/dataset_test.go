@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/space"
+)
+
+func TestCoPhIRShape(t *testing.T) {
+	vs := CoPhIR(1, 100)
+	if len(vs) != 100 {
+		t.Fatalf("n = %d", len(vs))
+	}
+	for _, v := range vs {
+		if len(v) != 282 {
+			t.Fatalf("dim = %d, want 282", len(v))
+		}
+		for _, x := range v {
+			if x < 0 || x > 255 {
+				t.Fatalf("value %v out of [0,255]", x)
+			}
+		}
+	}
+}
+
+func TestSIFTShape(t *testing.T) {
+	vs := SIFT(1, 100)
+	if len(vs) != 100 {
+		t.Fatalf("n = %d", len(vs))
+	}
+	for _, v := range vs {
+		if len(v) != 128 {
+			t.Fatalf("dim = %d, want 128", len(v))
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := SIFT(7, 10)
+	b := SIFT(7, 10)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("SIFT not deterministic")
+			}
+		}
+	}
+	c := SIFT(8, 10)
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestImageNetSignatures(t *testing.T) {
+	sigs := ImageNet(1, 30, SignatureOptions{Pixels: 120, Clusters: 8, KMeansIters: 4})
+	if len(sigs) != 30 {
+		t.Fatalf("n = %d", len(sigs))
+	}
+	for _, s := range sigs {
+		if s.Dim != 7 {
+			t.Fatalf("dim = %d", s.Dim)
+		}
+		if s.Clusters() < 1 || s.Clusters() > 8 {
+			t.Fatalf("clusters = %d", s.Clusters())
+		}
+		var sum float64
+		for _, w := range s.Weights {
+			if w < 0 {
+				t.Fatal("negative weight")
+			}
+			sum += float64(w)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("weights sum to %v", sum)
+		}
+	}
+	// Distances must be well-defined and frequently non-zero.
+	var nonzero int
+	sq := space.SQFD{}
+	for i := 1; i < len(sigs); i++ {
+		if sq.Distance(sigs[0], sigs[i]) > 1e-9 {
+			nonzero++
+		}
+	}
+	if nonzero < len(sigs)/2 {
+		t.Fatalf("too many zero SQFD distances: %d/%d nonzero", nonzero, len(sigs)-1)
+	}
+}
+
+func TestWikiSparseShape(t *testing.T) {
+	docs := WikiSparse(1, 200, WikiSparseOptions{})
+	if len(docs) != 200 {
+		t.Fatalf("n = %d", len(docs))
+	}
+	var totalNNZ int
+	for _, d := range docs {
+		totalNNZ += d.NNZ()
+		if d.Norm <= 0 {
+			t.Fatal("document with zero norm")
+		}
+		for _, w := range d.Idx {
+			if w < 0 || int(w) >= 100000 {
+				t.Fatalf("word id %d out of vocabulary", w)
+			}
+		}
+	}
+	avg := float64(totalNNZ) / float64(len(docs))
+	// Paper reports ~150 nnz on average; accept a generous band.
+	if avg < 60 || avg > 250 {
+		t.Fatalf("average nnz = %v, want ~150", avg)
+	}
+}
+
+func TestWikiSparseTopicStructure(t *testing.T) {
+	// Documents must NOT be mutually orthogonal: topic reuse must create
+	// overlapping supports for at least some pairs.
+	docs := WikiSparse(2, 100, WikiSparseOptions{Topics: 5})
+	cos := space.CosineDistance{}
+	var close int
+	for i := 0; i < 50; i++ {
+		for j := 50; j < 100; j++ {
+			if cos.Distance(docs[i], docs[j]) < 0.7 {
+				close++
+			}
+		}
+	}
+	if close == 0 {
+		t.Fatal("no similar document pairs; topic structure missing")
+	}
+}
+
+func TestWikiLDAShape(t *testing.T) {
+	for _, topics := range []int{8, 128} {
+		docs := WikiLDA(1, 100, topics)
+		if len(docs) != 100 {
+			t.Fatalf("n = %d", len(docs))
+		}
+		for _, d := range docs {
+			if len(d.P) != topics {
+				t.Fatalf("topics = %d, want %d", len(d.P), topics)
+			}
+			var sum float64
+			for _, p := range d.P {
+				if p <= 0 {
+					t.Fatal("non-positive probability after flooring")
+				}
+				sum += float64(p)
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				t.Fatalf("histogram sums to %v", sum)
+			}
+		}
+	}
+}
+
+func TestWikiLDADominantTopics(t *testing.T) {
+	docs := WikiLDA(3, 200, 8)
+	var spiky int
+	for _, d := range docs {
+		mx := float32(0)
+		for _, p := range d.P {
+			if p > mx {
+				mx = p
+			}
+		}
+		if mx > 0.4 {
+			spiky++
+		}
+	}
+	if spiky < 100 {
+		t.Fatalf("only %d/200 docs have a dominant topic", spiky)
+	}
+}
+
+func TestWikiLDAPanicsOnBadTopics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for topics=1")
+		}
+	}()
+	WikiLDA(1, 10, 1)
+}
+
+func TestDNAShape(t *testing.T) {
+	seqs := DNA(1, 500, DNAOptions{})
+	if len(seqs) != 500 {
+		t.Fatalf("n = %d", len(seqs))
+	}
+	var sumLen float64
+	for _, s := range seqs {
+		if len(s) < 8 {
+			t.Fatalf("sequence shorter than floor: %d", len(s))
+		}
+		sumLen += float64(len(s))
+		for _, b := range s {
+			switch b {
+			case 'A', 'C', 'G', 'T':
+			default:
+				t.Fatalf("alien base %c", b)
+			}
+		}
+	}
+	mean := sumLen / float64(len(seqs))
+	if mean < 28 || mean > 36 {
+		t.Fatalf("mean length %v, want ~32", mean)
+	}
+}
+
+func TestDNASubstringOverlap(t *testing.T) {
+	// Sequences come from one genome, so some pairs should be much more
+	// similar than random 4-letter strings (expected normalized distance
+	// for unrelated sequences is ~0.5+).
+	seqs := DNA(2, 300, DNAOptions{GenomeLen: 4096}) // small genome -> overlaps
+	nl := space.NormalizedLevenshtein{}
+	var minD = 1.0
+	for i := 1; i < len(seqs); i++ {
+		if d := nl.Distance(seqs[0], seqs[i]); d < minD {
+			minD = d
+		}
+	}
+	if minD > 0.45 {
+		t.Fatalf("no near-duplicate reads found (min distance %v); genome sampling suspect", minD)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/projection"
+	"repro/internal/space"
+)
+
+// metricAlphas and genericAlphas are the VP-tree pruning sweeps: metric
+// spaces start exact (alpha = 1), non-metric spaces also probe alpha < 1
+// (less pruning than the triangle inequality would allow).
+var (
+	metricAlphas  = []float64{1, 2, 4, 8, 16, 32}
+	genericAlphas = []float64{0.25, 0.5, 1, 2, 4, 8}
+)
+
+func denseBytes(v []float32) int64 { return int64(len(v))*4 + 24 }
+
+// denseRandProj returns a dense Gaussian projector factory for vectors of
+// dimensionality dim.
+func denseRandProj(inDim int) func(seed int64, out int) func([]float32) []float32 {
+	return func(seed int64, out int) func([]float32) []float32 {
+		p, err := projection.NewDense(rand.New(rand.NewSource(seed)), inDim, out)
+		if err != nil {
+			panic(err)
+		}
+		return p.Project
+	}
+}
+
+func init() {
+	// SIFT: 128-d visual descriptors under L2 (Figure 4a, 2a/2e, 3a/3d).
+	registry = append(registry, &combo[[]float32]{
+		name:     "sift",
+		distName: "l2",
+		dims:     "128",
+		sp:       space.L2{},
+		gen:      dataset.SIFT,
+		bytesOf:  denseBytes,
+		randProj: denseRandProj(128),
+		sweeps: func(cfg Config, n int) []sweep[[]float32] {
+			return []sweep[[]float32]{
+				vptreeSweep[[]float32](metricAlphas, 1, cfg.Seed),
+				mplshSweep(cfg.Seed),
+				swSweep[[]float32](cfg.K, cfg.Seed),
+				nappSweep[[]float32](n, cfg.Seed),
+				bfSweep[[]float32](n, cfg.Seed),
+			}
+		},
+	})
+
+	// CoPhIR: 282-d MPEG7 descriptors under L2 (Figure 4b).
+	registry = append(registry, &combo[[]float32]{
+		name:     "cophir",
+		distName: "l2",
+		dims:     "282",
+		sp:       space.L2{},
+		gen:      dataset.CoPhIR,
+		bytesOf:  denseBytes,
+		randProj: denseRandProj(282),
+		sweeps: func(cfg Config, n int) []sweep[[]float32] {
+			return []sweep[[]float32]{
+				vptreeSweep[[]float32](metricAlphas, 1, cfg.Seed),
+				mplshSweep(cfg.Seed),
+				swSweep[[]float32](cfg.K, cfg.Seed),
+				nappSweep[[]float32](n, cfg.Seed),
+				bfSweep[[]float32](n, cfg.Seed),
+			}
+		},
+	})
+
+	// ImageNet: SQFD signatures (Figure 4c, 3h); expensive metric
+	// distance, so the binarized filter competes here.
+	registry = append(registry, &combo[space.Signature]{
+		name:     "imagenet",
+		distName: "sqfd",
+		dims:     "N/A",
+		sp:       space.SQFD{},
+		gen: func(seed int64, n int) []space.Signature {
+			return dataset.ImageNet(seed, n, dataset.SignatureOptions{})
+		},
+		bytesOf: func(s space.Signature) int64 {
+			return int64(len(s.Weights))*4 + int64(len(s.Centroids))*4 + 48
+		},
+		sweeps: func(cfg Config, n int) []sweep[space.Signature] {
+			return []sweep[space.Signature]{
+				vptreeSweep[space.Signature](metricAlphas, 1, cfg.Seed),
+				swSweep[space.Signature](cfg.K, cfg.Seed),
+				nappSweep[space.Signature](n, cfg.Seed),
+				bfSweep[space.Signature](n, cfg.Seed),
+				binSweep[space.Signature](n, cfg.Seed),
+			}
+		},
+	})
+
+	// Wiki-sparse: sparse TF-IDF under cosine distance (Figure 4i,
+	// 2b/2f, 3b/3e).
+	registry = append(registry, &combo[space.SparseVector]{
+		name:     "wiki-sparse",
+		distName: "cosine",
+		dims:     "100000",
+		sp:       space.CosineDistance{},
+		gen: func(seed int64, n int) []space.SparseVector {
+			return dataset.WikiSparse(seed, n, dataset.WikiSparseOptions{})
+		},
+		bytesOf: func(v space.SparseVector) int64 { return int64(v.NNZ())*8 + 32 },
+		randProj: func(seed int64, out int) func(space.SparseVector) []float32 {
+			p, err := projection.NewSparse(seed, out)
+			if err != nil {
+				panic(err)
+			}
+			return p.Project
+		},
+		randCos: true,
+		sweeps: func(cfg Config, n int) []sweep[space.SparseVector] {
+			return []sweep[space.SparseVector]{
+				vptreeSweep[space.SparseVector](genericAlphas, 1, cfg.Seed),
+				swSweep[space.SparseVector](cfg.K, cfg.Seed),
+				nappSweep[space.SparseVector](n, cfg.Seed),
+				bfSweep[space.SparseVector](n, cfg.Seed),
+			}
+		},
+	})
+
+	// Wiki-8 / Wiki-128 topic histograms under KL- and JS-divergence
+	// (Figures 4d/4e/4g/4h, 2c/2g/2h, 3c/3f/3i).
+	histo := func(name string, topics int, sp space.Space[space.Histogram], beta float64, withNNDescent bool) *combo[space.Histogram] {
+		return &combo[space.Histogram]{
+			name:     name,
+			distName: sp.Name(),
+			dims:     itoa(topics),
+			sp:       sp,
+			gen: func(seed int64, n int) []space.Histogram {
+				return dataset.WikiLDA(seed, n, topics)
+			},
+			bytesOf: func(h space.Histogram) int64 { return int64(len(h.P))*8 + 24 },
+			sweeps: func(cfg Config, n int) []sweep[space.Histogram] {
+				out := []sweep[space.Histogram]{
+					vptreeSweep[space.Histogram](genericAlphas, beta, cfg.Seed),
+					swSweep[space.Histogram](cfg.K, cfg.Seed),
+					nappSweep[space.Histogram](n, cfg.Seed),
+					bfSweep[space.Histogram](n, cfg.Seed),
+				}
+				if withNNDescent {
+					out = append(out, nndescentSweep[space.Histogram](cfg.K, cfg.Seed))
+				}
+				return out
+			},
+		}
+	}
+	registry = append(registry,
+		histo("wiki-8-kl", 8, space.KLDivergence{}, 2, false),
+		histo("wiki-8-js", 8, space.JSDivergence{}, 1, true),
+		histo("wiki-128-kl", 128, space.KLDivergence{}, 2, false),
+		histo("wiki-128-js", 128, space.JSDivergence{}, 1, false),
+	)
+
+	// DNA: normalized Levenshtein over short reads (Figure 4f, 2d, 3g);
+	// the binarized filter is the paper's winner here.
+	registry = append(registry, &combo[[]byte]{
+		name:     "dna",
+		distName: "normleven",
+		dims:     "N/A",
+		sp:       space.NormalizedLevenshtein{},
+		gen: func(seed int64, n int) [][]byte {
+			return dataset.DNA(seed, n, dataset.DNAOptions{})
+		},
+		bytesOf: func(s []byte) int64 { return int64(len(s)) + 24 },
+		sweeps: func(cfg Config, n int) []sweep[[]byte] {
+			return []sweep[[]byte]{
+				vptreeSweep[[]byte](genericAlphas, 1, cfg.Seed),
+				swSweep[[]byte](cfg.K, cfg.Seed),
+				nndescentSweep[[]byte](cfg.K, cfg.Seed),
+				nappSweep[[]byte](n, cfg.Seed),
+				bfSweep[[]byte](n, cfg.Seed),
+				binSweep[[]byte](n, cfg.Seed),
+			}
+		},
+	})
+}
+
+// itoa avoids importing strconv for one call site.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

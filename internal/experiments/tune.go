@@ -1,0 +1,40 @@
+package experiments
+
+import "fmt"
+
+// TuneResult is the outcome of a tuning run.
+type TuneResult struct {
+	// Setting is the parameter in flag form, e.g. "alpha=4.25" or "t=3".
+	Setting string
+	// Recall achieved at that setting on the tuning subset.
+	Recall float64
+}
+
+// tuner is implemented by combos for each supported tuning target.
+type tuner interface {
+	tuneVPTree(cfg Config, target float64) (TuneResult, error)
+	tuneNAPP(cfg Config, target float64) (TuneResult, error)
+}
+
+// Tune runs the named tuner ("vptree" or "napp") for the data set.
+func Tune(dataset, what string, cfg Config, target float64) (TuneResult, error) {
+	r, ok := Get(dataset)
+	if !ok {
+		return TuneResult{}, fmt.Errorf("experiments: unknown dataset %q", dataset)
+	}
+	tn, ok := r.(tuner)
+	if !ok {
+		return TuneResult{}, fmt.Errorf("experiments: dataset %q does not support tuning", dataset)
+	}
+	if target <= 0 || target > 1 {
+		return TuneResult{}, fmt.Errorf("experiments: recall target %v out of (0, 1]", target)
+	}
+	switch what {
+	case "vptree":
+		return tn.tuneVPTree(cfg, target)
+	case "napp":
+		return tn.tuneNAPP(cfg, target)
+	default:
+		return TuneResult{}, fmt.Errorf("experiments: unknown tuner %q (vptree, napp)", what)
+	}
+}

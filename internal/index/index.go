@@ -1,0 +1,36 @@
+// Package index defines the common interface satisfied by every k-NN search
+// structure in this repository — the permutation methods under internal/core
+// as well as the VP-tree, multi-probe LSH, k-NN graph and sequential-scan
+// baselines. The evaluation harness (internal/eval, internal/experiments)
+// works against this interface only.
+package index
+
+import "repro/internal/topk"
+
+// Index answers k-nearest-neighbor queries over a fixed data set. The
+// result is ordered by increasing distance and contains at most k entries
+// (fewer if the index holds fewer points or, for approximate filter-based
+// methods, if the candidate set is exhausted). IDs are positions in the
+// data slice the index was built from.
+//
+// Search must be safe for concurrent use by multiple goroutines.
+type Index[T any] interface {
+	Search(query T, k int) []topk.Neighbor
+	// Name identifies the method in experiment reports, e.g. "napp".
+	Name() string
+}
+
+// Stats describes index footprint for Table 2 style reports.
+type Stats struct {
+	// Bytes is the approximate heap footprint of the index structure,
+	// excluding the raw data objects themselves.
+	Bytes int64
+	// BuildDistances is the number of distance computations performed
+	// during construction, when the index tracks it (0 otherwise).
+	BuildDistances int64
+}
+
+// Sized is implemented by indexes that can report their memory footprint.
+type Sized interface {
+	Stats() Stats
+}

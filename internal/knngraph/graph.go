@@ -1,0 +1,205 @@
+// Package knngraph implements proximity-graph based retrieval, the
+// strongest baseline of the paper's evaluation (§3.2): data points are graph
+// nodes connected to (approximately) their k nearest neighbors, and search
+// greedily walks edges toward the query ("the closest neighbor of my closest
+// neighbor is my neighbor as well").
+//
+// Two approximate graph-construction algorithms are provided, matching the
+// paper: search-based insertion as in Malkov et al.'s Small World graphs
+// (NewSW), and the iterative NN-descent of Dong et al. (NewNNDescent). Both
+// yield a Graph searched with the same multi-restart best-first algorithm.
+package knngraph
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// Options configures graph construction and search.
+type Options struct {
+	// NN is the number of neighbors requested per node at construction
+	// time (graph degree; SW links are bidirectional so effective degree
+	// is larger). Default 10.
+	NN int
+	// InitAttempts is the number of random restarts of the greedy
+	// search, both during SW insertion and at query time. More attempts
+	// = higher recall, more distance computations. Default 2.
+	InitAttempts int
+	// EfSearch is the result-frontier size of the query-time search;
+	// values above k improve recall. 0 means max(k, NN).
+	EfSearch int
+	// Rho is NN-descent's sample rate (fraction of NN sampled per
+	// round). Default 0.5.
+	Rho float64
+	// Delta is NN-descent's convergence threshold: iteration stops when
+	// fewer than Delta*NN*n heap updates happen in a round. Default
+	// 0.001.
+	Delta float64
+	// MaxIters caps NN-descent rounds. Default 12.
+	MaxIters int
+	// RandomLinks is the number of extra random bidirectional edges per
+	// node added to an NN-descent graph. A pure k-NN graph over
+	// clustered data is not navigable (greedy search cannot leave the
+	// entry point's cluster); SW graphs get long-range links for free
+	// from early insertions, NN-descent graphs need explicit rewiring.
+	// -1 disables; 0 means the default of 2.
+	RandomLinks int
+	// Workers bounds construction parallelism. 0 means GOMAXPROCS; the
+	// paper builds graphs with four threads. SW construction is only
+	// deterministic with Workers = 1.
+	Workers int
+	// Seed drives random choices (entry points, initial neighbors).
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.NN <= 0 {
+		o.NN = 10
+	}
+	if o.InitAttempts <= 0 {
+		o.InitAttempts = 2
+	}
+	if o.Rho <= 0 || o.Rho > 1 {
+		o.Rho = 0.5
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.001
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 12
+	}
+	if o.RandomLinks == 0 {
+		o.RandomLinks = 2
+	} else if o.RandomLinks < 0 {
+		o.RandomLinks = 0
+	}
+}
+
+// Graph is a k-NN proximity graph over a fixed data set.
+type Graph[T any] struct {
+	sp   space.Space[T]
+	data []T
+	adj  [][]uint32
+	opts Options
+	name string
+	// seedCtr makes entry-point choices deterministic for a fixed
+	// sequence of Search calls while keeping Search concurrency-safe.
+	seedCtr atomic.Int64
+	// buildDist counts construction-time distance computations.
+	buildDist atomic.Int64
+}
+
+// Name implements index.Index: "sw-graph" or "nndescent-graph".
+func (g *Graph[T]) Name() string { return g.name }
+
+// Stats implements index.Sized.
+func (g *Graph[T]) Stats() index.Stats {
+	var edges int64
+	for _, a := range g.adj {
+		edges += int64(len(a))
+	}
+	return index.Stats{
+		Bytes:          edges*4 + int64(len(g.adj))*24,
+		BuildDistances: g.buildDist.Load(),
+	}
+}
+
+// Degree returns the out-degree of node id (for tests and reports).
+func (g *Graph[T]) Degree(id int) int { return len(g.adj[id]) }
+
+// SetSearchParams adjusts the query-time knobs (restarts and frontier size)
+// without rebuilding. Values <= 0 leave the current setting. Not safe to
+// call concurrently with Search.
+func (g *Graph[T]) SetSearchParams(initAttempts, efSearch int) {
+	if initAttempts > 0 {
+		g.opts.InitAttempts = initAttempts
+	}
+	if efSearch > 0 {
+		g.opts.EfSearch = efSearch
+	}
+}
+
+// Search implements index.Index using multi-restart best-first traversal:
+// every restart starts from a random entry point, maintains a frontier of
+// unexpanded candidates and a bounded result set of size ef, and stops when
+// the nearest frontier candidate cannot improve the result set.
+func (g *Graph[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	ef := g.opts.EfSearch
+	if ef < k {
+		ef = k
+	}
+	if ef < g.opts.NN {
+		ef = g.opts.NN
+	}
+	r := rand.New(rand.NewSource(g.opts.Seed ^ g.seedCtr.Add(1)))
+	res := g.searchInternal(query, ef, g.opts.InitAttempts, r, nil, false)
+	if len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+// searchInternal runs the restart loop. When rl is non-nil it is read-locked
+// around adjacency accesses (used during parallel SW construction); count
+// adds distance evaluations to the build counter.
+func (g *Graph[T]) searchInternal(query T, ef, attempts int, r *rand.Rand, rl *sync.RWMutex, count bool) []topk.Neighbor {
+	n := len(g.adj)
+	visited := make([]bool, n)
+	results := topk.NewQueue(ef)
+	var frontier topk.MinQueue
+
+	dist := func(id uint32) float64 {
+		if count {
+			g.buildDist.Add(1)
+		}
+		return g.sp.Distance(g.data[id], query)
+	}
+	neighbors := func(id uint32) []uint32 {
+		if rl == nil {
+			return g.adj[id]
+		}
+		rl.RLock()
+		a := g.adj[id]
+		cp := make([]uint32, len(a))
+		copy(cp, a)
+		rl.RUnlock()
+		return cp
+	}
+
+	for a := 0; a < attempts; a++ {
+		entry := uint32(r.Intn(n))
+		if !visited[entry] {
+			visited[entry] = true
+			d := dist(entry)
+			results.Push(entry, d)
+			frontier.Push(entry, d)
+		}
+		for frontier.Len() > 0 {
+			cur := frontier.Pop()
+			if bound, ok := results.Bound(); ok && cur.Dist > bound {
+				break
+			}
+			for _, nb := range neighbors(cur.ID) {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				d := dist(nb)
+				if results.WouldAccept(d) {
+					results.Push(nb, d)
+					frontier.Push(nb, d)
+				}
+			}
+		}
+		frontier.Reset()
+	}
+	return results.Results()
+}

@@ -1,0 +1,80 @@
+package permutation
+
+import "repro/internal/space"
+
+// KendallTau returns the Kendall tau distance between two permutations: the
+// number of pivot pairs ranked in opposite order. It is the bubble-sort
+// distance between the rankings and a metric on permutations. Diaconis'
+// inequality ties it to the Footrule: Footrule/2 <= KendallTau <= Footrule.
+//
+// The paper's evaluation uses rho and the Footrule (§2.1); Kendall tau is
+// provided for completeness (it appears throughout the permutation-indexing
+// literature) and is computed in O(m log m) by counting inversions of the
+// composition b ∘ a⁻¹ with a merge sort.
+func KendallTau(a, b []int32) float64 {
+	if len(a) != len(b) {
+		panic("permutation: length mismatch")
+	}
+	if len(a) < 2 {
+		return 0
+	}
+	// seq[r] = rank under b of the pivot that a ranks r-th. If a == b
+	// this is the identity; every inversion is a disagreeing pair.
+	orderA := Invert(a)
+	seq := make([]int32, len(a))
+	for r, pivot := range orderA {
+		seq[r] = b[pivot]
+	}
+	buf := make([]int32, len(seq))
+	return float64(countInversions(seq, buf))
+}
+
+// countInversions merge-sorts s in place, returning the inversion count.
+func countInversions(s, buf []int32) int64 {
+	n := len(s)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countInversions(s[:mid], buf[:mid]) + countInversions(s[mid:], buf[mid:])
+	// Merge while counting cross inversions.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if s[i] <= s[j] {
+			buf[k] = s[i]
+			i++
+		} else {
+			buf[k] = s[j]
+			j++
+			inv += int64(mid - i)
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = s[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = s[j]
+		j++
+		k++
+	}
+	copy(s, buf[:n])
+	return inv
+}
+
+// KendallSpace exposes the Kendall tau distance as a space.Space over
+// permutation vectors.
+type KendallSpace struct{}
+
+// Distance implements space.Space.
+func (KendallSpace) Distance(a, b []int32) float64 { return KendallTau(a, b) }
+
+// Name implements space.Space.
+func (KendallSpace) Name() string { return "kendall-tau" }
+
+// Properties implements space.Space: Kendall tau is a metric.
+func (KendallSpace) Properties() space.Properties {
+	return space.Properties{Metric: true, Symmetric: true}
+}

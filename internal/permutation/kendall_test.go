@@ -1,0 +1,119 @@
+package permutation
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveKendall counts disagreeing pairs in O(m^2).
+func naiveKendall(a, b []int32) float64 {
+	var c int
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			// Pivot i vs pivot j: do a and b order them differently?
+			if (a[i] < a[j]) != (b[i] < b[j]) {
+				c++
+			}
+		}
+	}
+	return float64(c)
+}
+
+func TestKendallKnownValues(t *testing.T) {
+	id := []int32{0, 1, 2, 3}
+	if got := KendallTau(id, id); got != 0 {
+		t.Fatalf("KendallTau(id,id) = %v", got)
+	}
+	// One adjacent swap = exactly one inversion.
+	swap := []int32{1, 0, 2, 3}
+	if got := KendallTau(id, swap); got != 1 {
+		t.Fatalf("adjacent swap = %v, want 1", got)
+	}
+	// Full reversal of m elements = m(m-1)/2 inversions.
+	rev := []int32{3, 2, 1, 0}
+	if got := KendallTau(id, rev); got != 6 {
+		t.Fatalf("reversal = %v, want 6", got)
+	}
+	// Tiny inputs.
+	if got := KendallTau(nil, nil); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	if got := KendallTau([]int32{0}, []int32{0}); got != 0 {
+		t.Fatalf("singleton = %v", got)
+	}
+}
+
+func TestKendallMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(40)
+		a, b := randPerm(r, n), randPerm(r, n)
+		if got, want := KendallTau(a, b), naiveKendall(a, b); got != want {
+			t.Fatalf("KendallTau = %v, naive = %v (a=%v b=%v)", got, want, a, b)
+		}
+	}
+}
+
+func TestKendallSymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(60)
+		a, b := randPerm(r, n), randPerm(r, n)
+		if KendallTau(a, b) != KendallTau(b, a) {
+			t.Fatal("Kendall tau asymmetric")
+		}
+	}
+}
+
+func TestDiaconisInequality(t *testing.T) {
+	// Footrule/2 <= Kendall <= Footrule for all permutation pairs.
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(80)
+		a, b := randPerm(r, n), randPerm(r, n)
+		f := Footrule(a, b)
+		k := KendallTau(a, b)
+		if k < f/2 || k > f {
+			t.Fatalf("Diaconis violated: footrule=%v kendall=%v", f, k)
+		}
+	}
+}
+
+func TestKendallTriangle(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(30)
+		a, b, c := randPerm(r, n), randPerm(r, n), randPerm(r, n)
+		if KendallTau(a, c) > KendallTau(a, b)+KendallTau(b, c) {
+			t.Fatal("Kendall triangle inequality violated")
+		}
+	}
+}
+
+func TestKendallPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	KendallTau([]int32{0}, []int32{0, 1})
+}
+
+func TestKendallSpace(t *testing.T) {
+	sp := KendallSpace{}
+	if !sp.Properties().Metric || sp.Name() != "kendall-tau" {
+		t.Fatal("KendallSpace metadata wrong")
+	}
+	if sp.Distance([]int32{0, 1}, []int32{1, 0}) != 1 {
+		t.Fatal("KendallSpace distance wrong")
+	}
+}
+
+func BenchmarkKendall256(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randPerm(r, 256), randPerm(r, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KendallTau(x, y)
+	}
+}

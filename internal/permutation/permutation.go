@@ -1,0 +1,222 @@
+// Package permutation implements the core data structure of the paper: the
+// representation of a data point as a *permutation* — the ranked list of a
+// fixed pivot set, ordered by distance from the point (§2.1).
+//
+// Terminology used throughout this repository:
+//
+//   - The "order" of a point x is the sequence of pivot indices sorted by
+//     increasing distance from x (closest pivot first). The PP-index,
+//     MI-file and NAPP consume order prefixes.
+//   - The "permutation" of x is the inverse of the order: perm[i] is the
+//     0-based rank of pivot i among all pivots sorted by distance from x.
+//     Spearman's rho and the Footrule compare permutations element-wise.
+//
+// Ties between equidistant pivots are broken toward the smaller pivot index,
+// as in the paper.
+package permutation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/space"
+)
+
+// Pivots holds the m reference points of a permutation index together with
+// the space they live in. Pivots are immutable once created and safe for
+// concurrent use.
+type Pivots[T any] struct {
+	space space.Space[T]
+	items []T
+}
+
+// NewPivots wraps an explicit pivot list.
+func NewPivots[T any](sp space.Space[T], items []T) (*Pivots[T], error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("permutation: empty pivot set")
+	}
+	cp := make([]T, len(items))
+	copy(cp, items)
+	return &Pivots[T]{space: sp, items: cp}, nil
+}
+
+// Sample selects m pivots uniformly at random (without replacement) from
+// data, the standard pivot-selection strategy of the paper. It fails if the
+// data set has fewer than m points.
+func Sample[T any](r *rand.Rand, sp space.Space[T], data []T, m int) (*Pivots[T], error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("permutation: pivot count m must be positive, got %d", m)
+	}
+	if m > len(data) {
+		return nil, fmt.Errorf("permutation: cannot sample %d pivots from %d points", m, len(data))
+	}
+	idx := r.Perm(len(data))[:m]
+	items := make([]T, m)
+	for i, j := range idx {
+		items[i] = data[j]
+	}
+	return &Pivots[T]{space: sp, items: items}, nil
+}
+
+// M returns the number of pivots.
+func (p *Pivots[T]) M() int { return len(p.items) }
+
+// Items returns the pivot objects (shared, do not mutate).
+func (p *Pivots[T]) Items() []T { return p.items }
+
+// Space returns the underlying distance space.
+func (p *Pivots[T]) Space() space.Space[T] { return p.space }
+
+// Distances computes the distance from x to every pivot, appending into dst
+// (which may be nil). The point x is passed as the *data* (left) argument of
+// the distance, matching the paper's left-query convention for asymmetric
+// distances.
+func (p *Pivots[T]) Distances(x T, dst []float64) []float64 {
+	dst = dst[:0]
+	for _, pv := range p.items {
+		dst = append(dst, p.space.Distance(x, pv))
+	}
+	return dst
+}
+
+// Order computes the pivot order induced by x: dst[r] is the index of the
+// (r+1)-th closest pivot. dst may be nil; the filled slice is returned.
+func (p *Pivots[T]) Order(x T, dst []int32) []int32 {
+	dists := p.Distances(x, nil)
+	return orderOf(dists, dst)
+}
+
+// Permutation computes the permutation induced by x: dst[i] is the 0-based
+// rank of pivot i. dst may be nil; the filled slice is returned.
+func (p *Pivots[T]) Permutation(x T, dst []int32) []int32 {
+	order := p.Order(x, nil)
+	return invert(order, dst)
+}
+
+// orderOf argsorts dists by (distance, index).
+func orderOf(dists []float64, dst []int32) []int32 {
+	dst = dst[:0]
+	for i := range dists {
+		dst = append(dst, int32(i))
+	}
+	sort.Slice(dst, func(a, b int) bool {
+		da, db := dists[dst[a]], dists[dst[b]]
+		if da != db {
+			return da < db
+		}
+		return dst[a] < dst[b]
+	})
+	return dst
+}
+
+// invert turns an order into a permutation (or vice versa: the inverse of a
+// permutation is its order).
+func invert(order []int32, dst []int32) []int32 {
+	if cap(dst) < len(order) {
+		dst = make([]int32, len(order))
+	}
+	dst = dst[:len(order)]
+	for r, i := range order {
+		dst[i] = int32(r)
+	}
+	return dst
+}
+
+// Invert returns the inverse of a permutation vector: applied to an order it
+// yields the permutation, and applied to a permutation it yields the order.
+func Invert(perm []int32) []int32 { return invert(perm, nil) }
+
+// IsPermutation reports whether v contains each value 0..len(v)-1 exactly
+// once.
+func IsPermutation(v []int32) bool {
+	seen := make([]bool, len(v))
+	for _, x := range v {
+		if x < 0 || int(x) >= len(v) || seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}
+
+// SpearmanRho returns Spearman's rho distance between two permutations:
+// the sum of squared rank differences (the squared L2 distance). Per §2.1
+// this is the most effective permutation distance and the default in all
+// permutation indexes here.
+func SpearmanRho(a, b []int32) float64 {
+	if len(a) != len(b) {
+		panic("permutation: length mismatch")
+	}
+	var s int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		s += d * d
+	}
+	return float64(s)
+}
+
+// Footrule returns the Footrule distance between two permutations: the sum
+// of absolute rank differences (the L1 distance).
+func Footrule(a, b []int32) float64 {
+	if len(a) != len(b) {
+		panic("permutation: length mismatch")
+	}
+	var s int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return float64(s)
+}
+
+// RhoSpace exposes Spearman's rho as a space.Space over permutation vectors,
+// so generic indexes (e.g. a VP-tree per Figueroa & Fredriksson, §2.3) can
+// index permutations directly. Raw rho is the *squared* Euclidean distance
+// and hence not a metric; see RhoMetric for the metric monotone transform.
+type RhoSpace struct{}
+
+// Distance implements space.Space.
+func (RhoSpace) Distance(a, b []int32) float64 { return SpearmanRho(a, b) }
+
+// Name implements space.Space.
+func (RhoSpace) Name() string { return "spearman-rho" }
+
+// Properties implements space.Space: symmetric, not a metric.
+func (RhoSpace) Properties() space.Properties { return space.Properties{Symmetric: true} }
+
+// RhoMetric is sqrt(SpearmanRho): the Euclidean distance between permutation
+// vectors. It orders points identically to rho (monotone transform) but
+// satisfies the triangle inequality, enabling metric pruning when indexing
+// permutations with a VP-tree.
+type RhoMetric struct{}
+
+// Distance implements space.Space.
+func (RhoMetric) Distance(a, b []int32) float64 { return math.Sqrt(SpearmanRho(a, b)) }
+
+// Name implements space.Space.
+func (RhoMetric) Name() string { return "spearman-rho-sqrt" }
+
+// Properties implements space.Space: L2 over rank vectors is a metric.
+func (RhoMetric) Properties() space.Properties {
+	return space.Properties{Metric: true, Symmetric: true}
+}
+
+// FootruleSpace exposes the Footrule distance as a space.Space over
+// permutation vectors. L1 over rank vectors is a metric.
+type FootruleSpace struct{}
+
+// Distance implements space.Space.
+func (FootruleSpace) Distance(a, b []int32) float64 { return Footrule(a, b) }
+
+// Name implements space.Space.
+func (FootruleSpace) Name() string { return "footrule" }
+
+// Properties implements space.Space.
+func (FootruleSpace) Properties() space.Properties {
+	return space.Properties{Metric: true, Symmetric: true}
+}

@@ -1,0 +1,94 @@
+// Package seqscan implements exact k-NN search by sequential scan. It plays
+// two roles in the reproduction: it computes ground-truth neighbors for
+// recall measurements, and its single-thread query time is the baseline that
+// "improvement in efficiency" (Figure 4, y-axis) is measured against, exactly
+// as in §3.3 of the paper.
+package seqscan
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// Scanner performs exact k-NN search over a fixed slice of objects.
+type Scanner[T any] struct {
+	sp   space.Space[T]
+	data []T
+}
+
+// New creates a scanner over data. The slice is retained, not copied; the
+// caller must not mutate it afterwards.
+func New[T any](sp space.Space[T], data []T) *Scanner[T] {
+	return &Scanner[T]{sp: sp, data: data}
+}
+
+// Name implements index.Index.
+func (s *Scanner[T]) Name() string { return "seqscan" }
+
+// Len returns the number of indexed objects.
+func (s *Scanner[T]) Len() int { return len(s.data) }
+
+// Search returns the exact k nearest neighbors of query, ordered by
+// increasing distance. Data points are passed as the left argument of the
+// distance (the paper's left-query convention).
+func (s *Scanner[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	q := topk.NewQueue(k)
+	for i, x := range s.data {
+		q.Push(uint32(i), s.sp.Distance(x, query))
+	}
+	return q.Results()
+}
+
+// SearchAll computes exact k-NN answers for a batch of queries using all
+// CPUs. It exists for ground-truth generation, where the sequential
+// single-query path would dominate experiment setup time.
+func (s *Scanner[T]) SearchAll(queries []T, k int) [][]topk.Neighbor {
+	out := make([][]topk.Neighbor, len(queries))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(queries) {
+					return
+				}
+				out[i] = s.Search(queries[i], k)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RangeSearch returns all points within distance radius of query, ordered by
+// increasing distance. Used by tests to validate index pruning rules.
+func (s *Scanner[T]) RangeSearch(query T, radius float64) []topk.Neighbor {
+	var out []topk.Neighbor
+	for i, x := range s.data {
+		if d := s.sp.Distance(x, query); d <= radius {
+			out = append(out, topk.Neighbor{ID: uint32(i), Dist: d})
+		}
+	}
+	topk.ByDist(out)
+	return out
+}

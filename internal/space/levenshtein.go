@@ -1,0 +1,93 @@
+package space
+
+// NormalizedLevenshtein is the edit distance (insertions, deletions,
+// substitutions, unit cost) divided by the length of the longer string. The
+// DNA experiments use it over sequences of average length 32.
+//
+// The normalized variant is non-metric, but as §3.5 of the paper observes,
+// triangle violations are rare on realistic data, so it behaves as an
+// approximately µ-defective distance with µ = 1.
+type NormalizedLevenshtein struct{}
+
+// Distance returns the normalized edit distance between data and query.
+// Two empty strings are at distance 0.
+func (NormalizedLevenshtein) Distance(data, query []byte) float64 {
+	maxLen := len(data)
+	if len(query) > maxLen {
+		maxLen = len(query)
+	}
+	if maxLen == 0 {
+		return 0
+	}
+	return float64(EditDistance(data, query)) / float64(maxLen)
+}
+
+// Name implements Space.
+func (NormalizedLevenshtein) Name() string { return "normleven" }
+
+// Properties implements Space: symmetric, approximately metric but not
+// guaranteed, so Metric is left unset and indexes use generic pruning.
+func (NormalizedLevenshtein) Properties() Properties { return Properties{Symmetric: true} }
+
+// Levenshtein is the classic (unnormalized) edit distance; it is a true
+// metric and is provided for tests and for users who want metric pruning.
+type Levenshtein struct{}
+
+// Distance returns the edit distance between data and query.
+func (Levenshtein) Distance(data, query []byte) float64 {
+	return float64(EditDistance(data, query))
+}
+
+// Name implements Space.
+func (Levenshtein) Name() string { return "leven" }
+
+// Properties implements Space: the unnormalized edit distance is a metric.
+func (Levenshtein) Properties() Properties { return Properties{Metric: true, Symmetric: true} }
+
+// EditDistance computes the Levenshtein distance between a and b with the
+// standard two-row dynamic program: O(len(a)*len(b)) time, O(min) space.
+func EditDistance(a, b []byte) int {
+	// Ensure b is the shorter string so the row buffer is minimal.
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	// Trim common prefix and suffix; they never contribute edits.
+	for len(b) > 0 && a[0] == b[0] {
+		a, b = a[1:], b[1:]
+	}
+	for len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+		a, b = a[:len(a)-1], b[:len(b)-1]
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prev := row[0] // row[i-1][j-1]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			cur := row[j]
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			best := prev + cost            // substitution
+			if d := row[j] + 1; d < best { // deletion
+				best = d
+			}
+			if d := row[j-1] + 1; d < best { // insertion
+				best = d
+			}
+			row[j] = best
+			prev = cur
+		}
+	}
+	return row[len(b)]
+}

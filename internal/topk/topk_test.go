@@ -1,0 +1,256 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randNeighbors(r *rand.Rand, n int) []Neighbor {
+	ns := make([]Neighbor, n)
+	for i := range ns {
+		ns[i] = Neighbor{ID: uint32(i), Dist: r.Float64()}
+	}
+	r.Shuffle(n, func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
+	return ns
+}
+
+func TestQueueKeepsKNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		k := 1 + r.Intn(20)
+		ns := randNeighbors(r, n)
+
+		q := NewQueue(k)
+		for _, x := range ns {
+			q.Push(x.ID, x.Dist)
+		}
+		got := q.Results()
+
+		want := append([]Neighbor(nil), ns...)
+		ByDist(want)
+		if k < len(want) {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %d results, want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueueBoundAndWouldAccept(t *testing.T) {
+	q := NewQueue(2)
+	if _, ok := q.Bound(); ok {
+		t.Fatal("Bound should not be set on empty queue")
+	}
+	if !q.WouldAccept(1e18) {
+		t.Fatal("non-full queue must accept anything")
+	}
+	q.Push(1, 5)
+	q.Push(2, 3)
+	d, ok := q.Bound()
+	if !ok || d != 5 {
+		t.Fatalf("Bound = %v,%v want 5,true", d, ok)
+	}
+	if q.WouldAccept(6) {
+		t.Fatal("should reject candidate worse than bound")
+	}
+	if !q.WouldAccept(4) {
+		t.Fatal("should accept candidate better than bound")
+	}
+	q.Push(3, 4)
+	res := q.Results()
+	if res[0].ID != 2 || res[1].ID != 3 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestQueuePopWorst(t *testing.T) {
+	q := NewQueue(3)
+	q.Push(1, 1)
+	q.Push(2, 2)
+	q.Push(3, 3)
+	w := q.PopWorst()
+	if w.ID != 3 {
+		t.Fatalf("PopWorst = %+v, want ID 3", w)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d after PopWorst", q.Len())
+	}
+}
+
+func TestQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewQueue(0) should panic")
+		}
+	}()
+	NewQueue(0)
+}
+
+func TestMinQueueOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var q MinQueue
+	ns := randNeighbors(r, 300)
+	for _, x := range ns {
+		q.Push(x.ID, x.Dist)
+	}
+	prev := -1.0
+	for q.Len() > 0 {
+		x := q.Pop()
+		if x.Dist < prev {
+			t.Fatalf("MinQueue pops out of order: %v after %v", x.Dist, prev)
+		}
+		prev = x.Dist
+	}
+}
+
+func TestMinQueuePeekReset(t *testing.T) {
+	var q MinQueue
+	q.Push(1, 2)
+	q.Push(2, 1)
+	if q.Peek().ID != 2 {
+		t.Fatalf("Peek = %+v", q.Peek())
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("Reset did not empty queue")
+	}
+}
+
+func TestSelectKMatchesFullSort(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := r.Intn(500)
+		k := r.Intn(n + 10)
+		ns := randNeighbors(r, n)
+
+		want := append([]Neighbor(nil), ns...)
+		ByDist(want)
+		if k < len(want) {
+			want = want[:k]
+		}
+
+		got := SelectK(ns, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len(got)=%d want %d (n=%d k=%d)", trial, len(got), len(want), n, k)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSelectKHeapMatchesSelectK(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(300)
+		k := 1 + r.Intn(40)
+		ns := randNeighbors(r, n)
+		a := SelectK(append([]Neighbor(nil), ns...), k)
+		b := SelectKHeap(ns, k)
+		if len(a) != len(b) {
+			t.Fatalf("length mismatch %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("mismatch at %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSelectKDuplicateDistances(t *testing.T) {
+	// All-equal distances: tie-break by ID must make the result exactly
+	// the k smallest IDs.
+	ns := make([]Neighbor, 100)
+	for i := range ns {
+		ns[i] = Neighbor{ID: uint32(99 - i), Dist: 1.0}
+	}
+	got := SelectK(ns, 10)
+	for i, x := range got {
+		if x.ID != uint32(i) {
+			t.Fatalf("tie-breaking broken: got[%d].ID=%d", i, x.ID)
+		}
+	}
+}
+
+func TestSelectKEdgeCases(t *testing.T) {
+	if got := SelectK(nil, 5); len(got) != 0 {
+		t.Fatalf("SelectK(nil) = %v", got)
+	}
+	if got := SelectK([]Neighbor{{1, 1}}, 0); len(got) != 0 {
+		t.Fatalf("SelectK(...,0) = %v", got)
+	}
+	one := []Neighbor{{ID: 7, Dist: 3}}
+	if got := SelectK(one, 5); len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("SelectK single = %v", got)
+	}
+}
+
+func TestQuickSelectProperty(t *testing.T) {
+	// Property: after SelectK, every retained element <= every discarded one.
+	f := func(dists []float64, kRaw uint8) bool {
+		ns := make([]Neighbor, len(dists))
+		for i, d := range dists {
+			ns[i] = Neighbor{ID: uint32(i), Dist: d}
+		}
+		k := int(kRaw)
+		if k > len(ns) {
+			k = len(ns)
+		}
+		cp := append([]Neighbor(nil), ns...)
+		got := SelectK(cp, k)
+		if len(got) != k {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return less(got[i], got[j]) }) {
+			return false
+		}
+		kept := make(map[uint32]bool, k)
+		var worst Neighbor
+		for i, x := range got {
+			kept[x.ID] = true
+			if i == 0 || less(worst, x) {
+				worst = x
+			}
+		}
+		for _, x := range ns {
+			if !kept[x.ID] && k > 0 && less(x, worst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelectK(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ns := randNeighbors(r, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := append([]Neighbor(nil), ns...)
+		SelectK(cp, 100)
+	}
+}
+
+func BenchmarkSelectKHeap(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	ns := randNeighbors(r, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectKHeap(ns, 100)
+	}
+}

@@ -1,0 +1,252 @@
+// Package vptree implements the vantage-point tree (Yianilos 1993, Uhlmann
+// 1991), one of the two strongest baselines in the paper's evaluation. The
+// tree recursively partitions the space by the median distance to a randomly
+// chosen pivot; k-NN search is simulated as a range search with a shrinking
+// radius (§3.2).
+//
+// For metric spaces the triangle inequality gives exact pruning. For generic
+// (non-metric) spaces the paper replaces it with a *polynomial pruner*: with
+// query radius r, pivot distance dq and partition radius R,
+//
+//	query in left  partition: prune right when (R - dq)^beta * alphaLeft  > r
+//	query in right partition: prune left  when (dq - R)^beta * alphaRight > r
+//
+// alpha > 1 prunes more aggressively (faster, lower recall); Tune finds
+// alpha for a target recall by a shrinking grid search, as in the paper.
+package vptree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/index"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// Options configures tree construction and pruning.
+type Options struct {
+	// BucketSize is the leaf capacity b; partitioning stops below it.
+	// Default 32.
+	BucketSize int
+	// AlphaLeft and AlphaRight stretch the pruning rule (see package
+	// doc). Defaults 1, which is exact for metric spaces.
+	AlphaLeft, AlphaRight float64
+	// Beta is the polynomial exponent of the pruner. The paper uses 2
+	// for the KL-divergence and 1 elsewhere. Default 1.
+	Beta float64
+	// Seed drives random pivot selection. Trees built with equal seeds
+	// over equal data are identical.
+	Seed int64
+}
+
+func (o *Options) defaults() {
+	if o.BucketSize <= 0 {
+		o.BucketSize = 32
+	}
+	if o.AlphaLeft <= 0 {
+		o.AlphaLeft = 1
+	}
+	if o.AlphaRight <= 0 {
+		o.AlphaRight = 1
+	}
+	if o.Beta <= 0 {
+		o.Beta = 1
+	}
+}
+
+// Tree is a vantage-point tree over a fixed data set.
+type Tree[T any] struct {
+	sp    space.Space[T]
+	data  []T
+	opts  Options
+	root  *node
+	nodes int
+	// symmetric caches sp.Properties().Symmetric. For non-symmetric
+	// distances (KL) the partition balls are built from d(x, pivot), so
+	// pruning decisions must use d(query, pivot) — the same direction —
+	// even though answers are scored with left queries d(x, query).
+	symmetric bool
+	// buildDist counts distance computations performed at build time.
+	buildDist int64
+}
+
+type node struct {
+	pivot  uint32
+	radius float64
+	left   *node // d(x, pivot) <= radius
+	right  *node // d(x, pivot) >  radius
+	bucket []uint32
+}
+
+// New builds a VP-tree over data. The data slice is retained, not copied.
+func New[T any](sp space.Space[T], data []T, opts Options) (*Tree[T], error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vptree: empty data set")
+	}
+	opts.defaults()
+	t := &Tree[T]{sp: sp, data: data, opts: opts, symmetric: sp.Properties().Symmetric}
+	r := rand.New(rand.NewSource(opts.Seed))
+	ids := make([]uint32, len(data))
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	t.root = t.build(r, ids)
+	return t, nil
+}
+
+// build recursively constructs the subtree over ids, consuming the slice.
+func (t *Tree[T]) build(r *rand.Rand, ids []uint32) *node {
+	t.nodes++
+	if len(ids) <= t.opts.BucketSize {
+		// Leaf: keep points in one contiguous chunk (the paper notes
+		// this halves retrieval time for cheap distances).
+		b := make([]uint32, len(ids))
+		copy(b, ids)
+		return &node{bucket: b}
+	}
+	// Random pivot; move it out of the candidate set.
+	pi := r.Intn(len(ids))
+	ids[pi], ids[len(ids)-1] = ids[len(ids)-1], ids[pi]
+	pivot := ids[len(ids)-1]
+	rest := ids[:len(ids)-1]
+
+	dists := make([]float64, len(rest))
+	pv := t.data[pivot]
+	for i, id := range rest {
+		dists[i] = t.sp.Distance(t.data[id], pv)
+		t.buildDist++
+	}
+	radius := medianInPlace(dists, rest)
+
+	// Partition rest by d <= radius. dists was co-sorted by medianInPlace
+	// only partially; do an explicit stable pass.
+	left := make([]uint32, 0, len(rest)/2+1)
+	right := make([]uint32, 0, len(rest)/2+1)
+	for i, id := range rest {
+		if dists[i] <= radius {
+			left = append(left, id)
+		} else {
+			right = append(right, id)
+		}
+	}
+	if len(right) == 0 {
+		// Degenerate split (many duplicates): avoid infinite recursion
+		// by turning the whole partition, pivot included, into a leaf.
+		b := make([]uint32, 0, len(rest)+1)
+		b = append(b, rest...)
+		b = append(b, pivot)
+		return &node{bucket: b}
+	}
+	n := &node{pivot: pivot, radius: radius}
+	n.left = t.build(r, left)
+	n.right = t.build(r, right)
+	return n
+}
+
+// medianInPlace returns the median of dists. ids is passed along so future
+// co-sorting optimizations stay possible; it is not reordered today.
+func medianInPlace(dists []float64, _ []uint32) float64 {
+	cp := make([]float64, len(dists))
+	copy(cp, dists)
+	sort.Float64s(cp)
+	return cp[(len(cp)-1)/2]
+}
+
+// Name implements index.Index.
+func (t *Tree[T]) Name() string { return "vptree" }
+
+// Stats implements index.Sized.
+func (t *Tree[T]) Stats() index.Stats {
+	// Each internal node: pivot + radius + two pointers; leaves hold id
+	// slices. A coarse but honest estimate.
+	return index.Stats{
+		Bytes:          int64(t.nodes)*40 + int64(len(t.data))*4,
+		BuildDistances: t.buildDist,
+	}
+}
+
+// Search returns the (approximate, when alpha > 1 or the space is
+// non-metric) k nearest neighbors of query.
+func (t *Tree[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	q := topk.NewQueue(k)
+	t.search(t.root, query, q)
+	return q.Results()
+}
+
+func (t *Tree[T]) search(n *node, query T, q *topk.Queue) {
+	if n == nil {
+		return
+	}
+	if n.bucket != nil {
+		for _, id := range n.bucket {
+			q.Push(id, t.sp.Distance(t.data[id], query))
+		}
+		return
+	}
+	dq := t.sp.Distance(t.data[n.pivot], query)
+	q.Push(n.pivot, dq)
+	// Pruning compares against ball radii built from d(x, pivot); for
+	// asymmetric spaces measure the query in the same direction.
+	if !t.symmetric {
+		dq = t.sp.Distance(query, t.data[n.pivot])
+	}
+
+	r := math.Inf(1)
+	if bound, ok := q.Bound(); ok {
+		r = bound
+	}
+	if dq <= n.radius {
+		// Query inside the ball: search left first.
+		t.search(n.left, query, q)
+		if bound, ok := q.Bound(); ok {
+			r = bound
+		}
+		if !t.pruneRight(n.radius, dq, r) {
+			t.search(n.right, query, q)
+		}
+	} else {
+		t.search(n.right, query, q)
+		if bound, ok := q.Bound(); ok {
+			r = bound
+		}
+		if !t.pruneLeft(n.radius, dq, r) {
+			t.search(n.left, query, q)
+		}
+	}
+}
+
+// pruneRight reports whether the outside partition can be skipped when the
+// query is inside the ball.
+func (t *Tree[T]) pruneRight(radius, dq, r float64) bool {
+	diff := radius - dq
+	if diff <= 0 {
+		return false
+	}
+	return stretch(diff, t.opts.Beta)*t.opts.AlphaLeft > r
+}
+
+// pruneLeft reports whether the inside partition can be skipped when the
+// query is outside the ball.
+func (t *Tree[T]) pruneLeft(radius, dq, r float64) bool {
+	diff := dq - radius
+	if diff <= 0 {
+		return false
+	}
+	return stretch(diff, t.opts.Beta)*t.opts.AlphaRight > r
+}
+
+func stretch(diff, beta float64) float64 {
+	if beta == 1 {
+		return diff
+	}
+	if beta == 2 {
+		return diff * diff
+	}
+	return math.Pow(diff, beta)
+}

@@ -1,0 +1,194 @@
+// Package permsearch is the public facade of this repository: a Go
+// implementation of the permutation-based approximate k-nearest-neighbor
+// search methods surveyed in
+//
+//	Naidan, Boytsov, Nyberg.
+//	"Permutation Search Methods are Efficient, Yet Faster Search is
+//	Possible." PVLDB 8(12), 2015.
+//
+// and of every baseline the paper evaluates them against: sequential scan,
+// multi-probe LSH, VP-trees with metric and polynomial pruning, and
+// proximity graphs built with Small-World insertion or NN-descent.
+//
+// # Quick start
+//
+//	data := dataset // your []T
+//	idx, err := permsearch.NewNAPP[[]float32](permsearch.L2{}, data, permsearch.NAPPOptions{})
+//	if err != nil { ... }
+//	neighbors := idx.Search(query, 10)
+//
+// Every index implements Index[T]: Search returns ids (positions into the
+// data slice) with distances, nearest first. All filter-and-refine methods
+// (brute-force filtering, PP-index, MI-file, NAPP, OMEDRANK, permutation
+// VP-tree) take a gamma-style candidate budget; see the option structs.
+//
+// # Spaces
+//
+// A Space[T] is any (possibly non-metric) dissimilarity; implementations
+// for the paper's seven distances ship in this package: L2, L1 (dense
+// vectors), CosineDistance (sparse vectors), KLDivergence and JSDivergence
+// (topic histograms), NormalizedLevenshtein (byte strings) and SQFD (image
+// signatures). For non-symmetric distances the data point is always the
+// left argument ("left queries", §3.3 of the paper).
+package permsearch
+
+import (
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/knngraph"
+	"repro/internal/lsh"
+	"repro/internal/permutation"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/topk"
+	"repro/internal/vptree"
+)
+
+// Core result and interface types.
+type (
+	// Neighbor is one search answer: a data id and its distance.
+	Neighbor = topk.Neighbor
+	// Index is the interface satisfied by every search structure here.
+	Index[T any] = index.Index[T]
+	// Space is a (possibly non-metric) dissimilarity over T.
+	Space[T any] = space.Space[T]
+	// Properties reports which distance axioms a space satisfies.
+	Properties = space.Properties
+)
+
+// Object types for the paper's non-vector spaces.
+type (
+	// SparseVector is a sorted sparse vector (cosine distance).
+	SparseVector = space.SparseVector
+	// Histogram is a probability histogram with precomputed logs
+	// (KL/JS divergence).
+	Histogram = space.Histogram
+	// Signature is an SQFD image signature.
+	Signature = space.Signature
+)
+
+// Distance functions (see package space for details).
+type (
+	// L2 is the Euclidean metric over dense vectors.
+	L2 = space.L2
+	// L1 is the Manhattan metric over dense vectors.
+	L1 = space.L1
+	// CosineDistance is 1 - cosine similarity over sparse vectors.
+	CosineDistance = space.CosineDistance
+	// KLDivergence is the (non-symmetric) Kullback-Leibler divergence.
+	KLDivergence = space.KLDivergence
+	// JSDivergence is the Jensen-Shannon divergence.
+	JSDivergence = space.JSDivergence
+	// NormalizedLevenshtein is edit distance over max length.
+	NormalizedLevenshtein = space.NormalizedLevenshtein
+	// SQFD is the Signature Quadratic Form Distance.
+	SQFD = space.SQFD
+)
+
+// NewSparseVector validates and sorts a sparse vector.
+func NewSparseVector(idx []int32, val []float32) (SparseVector, error) {
+	return space.NewSparseVector(idx, val)
+}
+
+// NewHistogram floors, normalizes and log-precomputes a histogram.
+func NewHistogram(p []float32) Histogram { return space.NewHistogram(p) }
+
+// NewSignature validates and normalizes an SQFD signature.
+func NewSignature(weights, centroids []float32, dim int) (Signature, error) {
+	return space.NewSignature(weights, centroids, dim)
+}
+
+// Option structs of the permutation methods (package core).
+type (
+	// BruteForceOptions configures brute-force permutation filtering.
+	BruteForceOptions = core.BruteForceOptions
+	// BinFilterOptions configures binarized permutation filtering.
+	BinFilterOptions = core.BinFilterOptions
+	// PPIndexOptions configures the Permutation Prefix Index.
+	PPIndexOptions = core.PPIndexOptions
+	// MIFileOptions configures the Metric Inverted File.
+	MIFileOptions = core.MIFileOptions
+	// NAPPOptions configures the Neighborhood APProximation index.
+	NAPPOptions = core.NAPPOptions
+	// OMEDRANKOptions configures Fagin et al.'s rank aggregation.
+	OMEDRANKOptions = core.OMEDRANKOptions
+	// PermVPTreeOptions configures VP-tree-indexed permutations.
+	PermVPTreeOptions = core.PermVPTreeOptions
+	// VPTreeOptions configures the VP-tree baseline.
+	VPTreeOptions = vptree.Options
+	// GraphOptions configures proximity-graph construction and search.
+	GraphOptions = knngraph.Options
+	// MPLSHOptions configures multi-probe LSH.
+	MPLSHOptions = lsh.Options
+)
+
+// NewBruteForceFilter builds the §2.2 brute-force permutation filter.
+func NewBruteForceFilter[T any](sp Space[T], data []T, opts BruteForceOptions) (*core.BruteForceFilter[T], error) {
+	return core.NewBruteForceFilter(sp, data, opts)
+}
+
+// NewBinFilter builds the binarized (bit-packed, Hamming) filter.
+func NewBinFilter[T any](sp Space[T], data []T, opts BinFilterOptions) (*core.BinFilter[T], error) {
+	return core.NewBinFilter(sp, data, opts)
+}
+
+// NewPPIndex builds Esuli's Permutation Prefix Index.
+func NewPPIndex[T any](sp Space[T], data []T, opts PPIndexOptions) (*core.PPIndex[T], error) {
+	return core.NewPPIndex(sp, data, opts)
+}
+
+// NewMIFile builds Amato & Savino's Metric Inverted File.
+func NewMIFile[T any](sp Space[T], data []T, opts MIFileOptions) (*core.MIFile[T], error) {
+	return core.NewMIFile(sp, data, opts)
+}
+
+// NewNAPP builds Tellez et al.'s Neighborhood APProximation index.
+func NewNAPP[T any](sp Space[T], data []T, opts NAPPOptions) (*core.NAPP[T], error) {
+	return core.NewNAPP(sp, data, opts)
+}
+
+// NewOMEDRANK builds Fagin et al.'s median-rank aggregation baseline.
+func NewOMEDRANK[T any](sp Space[T], data []T, opts OMEDRANKOptions) (*core.OMEDRANK[T], error) {
+	return core.NewOMEDRANK(sp, data, opts)
+}
+
+// NewPermVPTree indexes permutations in a VP-tree (Figueroa & Fredriksson).
+func NewPermVPTree[T any](sp Space[T], data []T, opts PermVPTreeOptions) (*core.PermVPTree[T], error) {
+	return core.NewPermVPTree(sp, data, opts)
+}
+
+// NewVPTree builds the VP-tree baseline (exact for metric spaces at
+// alpha=1; polynomial pruner for generic spaces).
+func NewVPTree[T any](sp Space[T], data []T, opts VPTreeOptions) (*vptree.Tree[T], error) {
+	return vptree.New(sp, data, opts)
+}
+
+// TuneVPTree grid-searches the pruning stretch alpha for a recall target.
+func TuneVPTree[T any](sp Space[T], sample, queries []T, k int, targetRecall float64, opts VPTreeOptions) (alpha, recall float64, err error) {
+	return vptree.Tune(sp, sample, queries, k, targetRecall, opts)
+}
+
+// NewSWGraph builds a Small-World proximity graph (Malkov et al.).
+func NewSWGraph[T any](sp Space[T], data []T, opts GraphOptions) (*knngraph.Graph[T], error) {
+	return knngraph.NewSW(sp, data, opts)
+}
+
+// NewNNDescentGraph builds a k-NN graph with NN-descent (Dong et al.).
+func NewNNDescentGraph[T any](sp Space[T], data []T, opts GraphOptions) (*knngraph.Graph[T], error) {
+	return knngraph.NewNNDescent(sp, data, opts)
+}
+
+// NewMPLSH builds the multi-probe LSH baseline (dense vectors, L2 only).
+func NewMPLSH(data [][]float32, opts MPLSHOptions) (*lsh.MPLSH, error) {
+	return lsh.New(data, opts)
+}
+
+// NewSeqScan builds the exact sequential-scan baseline.
+func NewSeqScan[T any](sp Space[T], data []T) *seqscan.Scanner[T] {
+	return seqscan.New(sp, data)
+}
+
+// Pivots is the pivot set of a permutation index, exposed for users who
+// want to compute permutations directly (see package permutation for
+// sampling, orders, rho/footrule/Kendall distances and binarization).
+type Pivots[T any] = permutation.Pivots[T]

@@ -1,0 +1,90 @@
+package permsearch_test
+
+import (
+	"math/rand"
+	"testing"
+
+	permsearch "repro"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README shows it:
+// build each index over one small data set and check basic answer quality.
+func TestFacadeEndToEnd(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data := make([][]float32, 500)
+	for i := range data {
+		v := make([]float32, 16)
+		base := float32(r.Intn(8) * 50)
+		for j := range v {
+			v[j] = base + float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	query := data[17]
+
+	scan := permsearch.NewSeqScan[[]float32](permsearch.L2{}, data)
+	truth := scan.Search(query, 10)
+	want := map[uint32]bool{}
+	for _, n := range truth {
+		want[n.ID] = true
+	}
+	check := func(name string, idx permsearch.Index[[]float32], minHits int) {
+		t.Helper()
+		res := idx.Search(query, 10)
+		if len(res) == 0 {
+			t.Fatalf("%s returned nothing", name)
+		}
+		hits := 0
+		for _, n := range res {
+			if want[n.ID] {
+				hits++
+			}
+		}
+		if hits < minHits {
+			t.Errorf("%s: only %d/10 true neighbors", name, hits)
+		}
+	}
+
+	napp, err := permsearch.NewNAPP[[]float32](permsearch.L2{}, data, permsearch.NAPPOptions{NumPivots: 64, NumPivotIndex: 16, MinShared: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("napp", napp, 6)
+
+	bf, err := permsearch.NewBruteForceFilter[[]float32](permsearch.L2{}, data, permsearch.BruteForceOptions{NumPivots: 32, Gamma: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("brute-force-filt", bf, 6)
+
+	vt, err := permsearch.NewVPTree[[]float32](permsearch.L2{}, data, permsearch.VPTreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("vptree", vt, 10) // exact on a metric space
+
+	g, err := permsearch.NewSWGraph[[]float32](permsearch.L2{}, data, permsearch.GraphOptions{NN: 8, InitAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sw-graph", g, 6)
+
+	h, err := permsearch.NewMPLSH(data, permsearch.MPLSHOptions{Tables: 12, Hashes: 8, Probes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("mplsh", h, 5)
+}
+
+func TestFacadeObjectConstructors(t *testing.T) {
+	if _, err := permsearch.NewSparseVector([]int32{2, 1}, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	h := permsearch.NewHistogram([]float32{0.5, 0.5})
+	if len(h.P) != 2 {
+		t.Fatal("histogram broken")
+	}
+	if _, err := permsearch.NewSignature([]float32{1}, []float32{1, 2, 3}, 3); err != nil {
+		t.Fatal(err)
+	}
+}
