@@ -1,0 +1,32 @@
+# Local entry points that stay in lockstep with .github/workflows/ci.yml:
+# each CI step invokes one of these targets, so a green `make ci` means a
+# green pipeline.
+
+GO ?= go
+
+.PHONY: build test race bench vet fmt ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file is not gofmt-formatted (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-heavy packages: the batch query engine and the
+# SW/NN-descent graph construction goroutines.
+race:
+	$(GO) test -race -short ./internal/engine/... ./internal/knngraph/...
+
+# Batch-engine throughput: the serial reference loop vs SearchBatch at
+# 1/2/4/8 workers over the sequential scan.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSearchBatch -benchmem ./internal/engine/
+
+ci: fmt build vet test race

@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	annbench -dataset sift [-method napp] [-n 5000] [-queries 100] [-folds 1] [-k 10]
+//	annbench -dataset sift [-method napp] [-n 5000] [-queries 100] [-folds 1] [-k 10] [-workers 1]
 //	annbench -list
+//
+// -workers fans evaluation queries out over the batch engine
+// (internal/engine); results are identical to the single-thread protocol,
+// and the qps column reports the wall-clock throughput achieved.
 package main
 
 import (
@@ -26,10 +30,11 @@ func main() {
 	folds := flag.Int("folds", 1, "random splits")
 	k := flag.Int("k", 10, "neighbors per query")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "goroutines running evaluation queries (1 = the paper's single-thread protocol, -1 = GOMAXPROCS); results are identical, only throughput changes")
 	list := flag.Bool("list", false, "list data sets and their methods, then exit")
 	flag.Parse()
 
-	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed}
+	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed, Workers: *workers}
 	if *list {
 		for _, name := range experiments.Names() {
 			r, _ := experiments.Get(name)
@@ -47,7 +52,7 @@ func main() {
 	if *method != "" {
 		methods = strings.Split(*method, ",")
 	}
-	fmt.Println("# dataset\tmethod\tparams\trecall\timprovement\tquery-time\tbuild-time\tindex-size")
+	fmt.Println("# dataset\tmethod\tparams\trecall\timprovement\tquery-time\tqps\tbuild-time\tindex-size")
 	if err := r.RunMethods(cfg, methods, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "annbench: %v\n", err)
 		os.Exit(1)

@@ -3,11 +3,11 @@
 // 10-NN recall, per method, per data set, averaged over random splits.
 //
 // Output columns: dataset, method, params, recall, improvement,
-// query-time, build-time, index-size.
+// query-time, qps, build-time, index-size.
 //
 // Usage:
 //
-//	figure4 [-n 5000] [-queries 100] [-folds 1] [-k 10] [-datasets ...]
+//	figure4 [-n 5000] [-queries 100] [-folds 1] [-k 10] [-workers 1] [-datasets ...]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	folds := flag.Int("folds", 1, "random splits (paper: 5)")
 	k := flag.Int("k", 10, "neighbors per query")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 1, "goroutines running evaluation queries (1 = single-thread protocol, -1 = GOMAXPROCS)")
 	datasets := flag.String("datasets", "", "comma-separated subset (default: all nine)")
 	flag.Parse()
 
@@ -32,8 +33,8 @@ func main() {
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
 	}
-	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed}
-	fmt.Println("# Figure 4: dataset\tmethod\tparams\trecall\timprovement\tquery-time\tbuild-time\tindex-size")
+	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed, Workers: *workers}
+	fmt.Println("# Figure 4: dataset\tmethod\tparams\trecall\timprovement\tquery-time\tqps\tbuild-time\tindex-size")
 	for _, name := range names {
 		r, ok := experiments.Get(name)
 		if !ok {

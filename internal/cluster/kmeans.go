@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/vecmath"
 )
 
@@ -66,10 +68,21 @@ func KMeans(r *rand.Rand, points []float32, dim, k, maxIter int) (*Result, error
 	sizes := make([]int, k)
 	sums := make([]float64, k*dim)
 
+	// The assignment step is the O(n·k·dim) hot path of Lloyd's
+	// algorithm; points are independent, so it fans out over the shared
+	// worker pool. Each point's nearest centroid is a pure function of
+	// the centroids, so the result is identical to the serial loop.
+	// Tiny instances (the ImageNet signature pipeline runs thousands of
+	// 300-point clusterings) stay serial: there the per-iteration
+	// goroutine fan-out would cost as much as the work itself.
+	pool := engine.NewPool(1)
+	if n*k*dim >= 1<<17 {
+		pool = engine.Pool{}
+	}
 	iter := 0
 	for ; iter < maxIter; iter++ {
-		changed := 0
-		for i := 0; i < n; i++ {
+		var changed atomic.Int64
+		pool.For(n, func(i int) {
 			p := row(points, i)
 			best, bestD := 0, math.MaxFloat64
 			for c := 0; c < k; c++ {
@@ -80,10 +93,10 @@ func KMeans(r *rand.Rand, points []float32, dim, k, maxIter int) (*Result, error
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed++
+				changed.Add(1)
 			}
-		}
-		if changed == 0 {
+		})
+		if changed.Load() == 0 {
 			break
 		}
 		// Recompute centroids.

@@ -14,9 +14,8 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/permutation"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -81,35 +80,10 @@ func refine[T any](sp space.Space[T], data []T, query T, cands []uint32, k int) 
 }
 
 // parallelFor runs f(i) for every i in [0, n) on up to GOMAXPROCS
-// goroutines. Iterations must be independent.
+// goroutines (uniform-cost build loops; see engine.Pool.For). Iterations
+// must be independent.
 func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	engine.Pool{}.For(n, f)
 }
 
 // computePermutations returns the flattened n x m matrix of permutations of

@@ -1,0 +1,65 @@
+package engine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+var benchSink [][]topk.Neighbor
+
+// BenchmarkSearchBatch measures batch-query throughput over the exact
+// sequential scan on the synthetic SIFT workload: the serial reference loop
+// against SearchBatch at growing pool sizes. Per-op work is constant (one
+// whole batch), so ns/op directly compares wall-clock; on a multi-core
+// machine the 4-worker case is expected to run >= 2x faster than serial.
+func BenchmarkSearchBatch(b *testing.B) {
+	data := dataset.SIFT(17, 4064)
+	db, queries := data[:4000], data[4000:]
+	scan := seqscan.New[[]float32](space.L2{}, db)
+	const k = 10
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := make([][]topk.Neighbor, len(queries))
+			for j, q := range queries {
+				out[j] = scan.Search(q, k)
+			}
+			benchSink = out
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			p := engine.NewPool(workers)
+			for i := 0; i < b.N; i++ {
+				benchSink = engine.SearchBatchPool[[]float32](p, scan, queries, k)
+			}
+		})
+	}
+}
+
+// BenchmarkPoolFor measures the fan-out overhead of the two scheduling
+// strategies on trivially cheap loop bodies — the cost floor every
+// parallelized build path pays.
+func BenchmarkPoolFor(b *testing.B) {
+	sink := make([]int64, 4096)
+	for _, bench := range []struct {
+		name string
+		run  func(p engine.Pool, n int)
+	}{
+		{"static", func(p engine.Pool, n int) { p.For(n, func(i int) { sink[i] = int64(i) }) }},
+		{"dynamic", func(p engine.Pool, n int) { p.ForDynamic(n, func(i int) { sink[i] = int64(i) }) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			p := engine.Pool{}
+			for i := 0; i < b.N; i++ {
+				bench.run(p, 4096)
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+// Package engine is the shared concurrency substrate of the repository: a
+// bounded worker pool (Pool) used by every parallel loop — index
+// construction in internal/core, k-means assignment in internal/cluster,
+// graph construction in internal/knngraph — and a batch query engine
+// (SearchBatch) that fans a slab of queries out over the pool against any
+// index.Index.
+//
+// Keeping the idiom in one place matters for two reasons. First, the paper's
+// evaluation protocol is single-threaded, so every concurrent path must be
+// an explicit opt-in that leaves the serial semantics intact: SearchBatch is
+// defined to return exactly what a serial Search loop would return, in the
+// same order. Second, the ROADMAP's serving ambitions (sharding, batching,
+// async) all build on the same fan-out/fan-in shape; one audited
+// implementation beats N ad-hoc WaitGroups.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+	"repro/internal/topk"
+)
+
+// Pool bounds the number of goroutines a parallel loop may use. The zero
+// value is a valid pool running at GOMAXPROCS. Pools are values, not
+// resources: they hold no goroutines between calls and are safe to copy and
+// to use from multiple goroutines.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of at most workers goroutines; workers <= 0 means
+// GOMAXPROCS (the paper indexes with four threads; we default to all CPUs).
+func NewPool(workers int) Pool {
+	if workers < 0 {
+		workers = 0
+	}
+	return Pool{workers: workers}
+}
+
+// Workers returns the effective worker count.
+func (p Pool) Workers() int {
+	if p.workers > 0 {
+		return p.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// clamp returns the goroutine count for a loop of n iterations.
+func (p Pool) clamp(n int) int {
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// For runs f(i) for every i in [0, n) over contiguous per-worker chunks.
+// Iterations must be independent. Static chunking has the lowest scheduling
+// overhead and the best cache locality, which suits uniform-cost work such
+// as computing one permutation per data point; use ForDynamic when per-item
+// cost is skewed.
+func (p Pool) For(n int, f func(i int)) {
+	w := p.clamp(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForDynamic runs f(i) for every i in [0, n), workers pulling one item at a
+// time from a shared counter. The per-item atomic add buys load balance for
+// skewed work — k-NN queries vary wildly in candidate-set size — and is
+// noise next to even one distance computation.
+func (p Pool) ForDynamic(n int, f func(i int)) {
+	p.ForWithID(n, func(_, i int) { f(i) })
+}
+
+// ForWithID is ForDynamic passing each invocation the pulling worker's id in
+// [0, Workers()), so callers can keep per-worker state (RNGs, scratch
+// buffers) without locking.
+func (p Pool) ForWithID(n int, f func(worker, i int)) {
+	w := p.clamp(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for t := 0; t < w; t++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(worker, i)
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// SearchBatch answers a batch of queries against idx on a default
+// (GOMAXPROCS) pool. See SearchBatchPool for the contract.
+func SearchBatch[T any](idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
+	return SearchBatchPool(Pool{}, idx, queries, k)
+}
+
+// SearchBatchPool answers a batch of queries concurrently. out[i] is
+// exactly what the i-th call of the serial loop
+//
+//	for i, q := range queries { out[i] = idx.Search(q, k) }
+//
+// would have produced, regardless of worker count or scheduling: each
+// worker writes only its own queries' slots, and indexes whose Search
+// consumes shared mutable state (the proximity graph's entry-point counter)
+// implement index.Batcher to pin each query to the seed its serial-loop
+// position would have drawn.
+func SearchBatchPool[T any](p Pool, idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
+	if b, ok := idx.(index.Batcher[T]); ok {
+		return b.SearchBatch(queries, k, p.Workers())
+	}
+	out := make([][]topk.Neighbor, len(queries))
+	p.ForDynamic(len(queries), func(i int) {
+		out[i] = idx.Search(queries[i], k)
+	})
+	return out
+}

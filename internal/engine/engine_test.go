@@ -1,0 +1,214 @@
+package engine_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/knngraph"
+	"repro/internal/lsh"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+func TestPoolWorkers(t *testing.T) {
+	if got := engine.NewPool(4).Workers(); got != 4 {
+		t.Fatalf("NewPool(4).Workers() = %d", got)
+	}
+	if got := engine.NewPool(0).Workers(); got < 1 {
+		t.Fatalf("NewPool(0).Workers() = %d", got)
+	}
+	if got := engine.NewPool(-3).Workers(); got < 1 {
+		t.Fatalf("NewPool(-3).Workers() = %d", got)
+	}
+	var zero engine.Pool
+	if got := zero.Workers(); got < 1 {
+		t.Fatalf("zero Pool Workers() = %d", got)
+	}
+}
+
+func TestPoolForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			engine.NewPool(workers).For(n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d hit %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestPoolForDynamicCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 500
+		hits := make([]int32, n)
+		engine.NewPool(workers).ForDynamic(n, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolForWithIDWorkerRange(t *testing.T) {
+	p := engine.NewPool(3)
+	var bad atomic.Int32
+	p.ForWithID(200, func(worker, i int) {
+		if worker < 0 || worker >= p.Workers() {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d invocations saw a worker id outside [0, %d)", bad.Load(), p.Workers())
+	}
+}
+
+// serialLoop is the reference semantics SearchBatch must reproduce.
+func serialLoop[T any](idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
+	out := make([][]topk.Neighbor, len(queries))
+	for i, q := range queries {
+		out[i] = idx.Search(q, k)
+	}
+	return out
+}
+
+// batchData is a small dense-vector workload shared by the equivalence
+// tests.
+func batchData(t testing.TB, n, q int) (db, queries [][]float32) {
+	t.Helper()
+	data := dataset.SIFT(11, n+q)
+	return data[:n], data[n:]
+}
+
+// checkBatchMatchesSerial runs the serial reference on serialIdx and
+// SearchBatch on batchIdx (the same index, or an identically built copy for
+// stateful searchers) across worker counts and edge-case ks.
+func checkBatchMatchesSerial[T any](t *testing.T, name string, db []T, queries []T, build func() index.Index[T]) {
+	t.Helper()
+	n := len(db)
+	for _, k := range []int{1, 10, n + 17} { // includes k > n
+		for _, workers := range []int{1, 2, 8} {
+			want := serialLoop(build(), queries, k)
+			got := engine.SearchBatchPool(engine.NewPool(workers), build(), queries, k)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: k=%d workers=%d: batch differs from serial loop", name, k, workers)
+			}
+		}
+	}
+	// Empty batch and k <= 0.
+	idx := build()
+	if got := engine.SearchBatch(idx, nil, 10); len(got) != 0 {
+		t.Fatalf("%s: empty batch returned %d results", name, len(got))
+	}
+	got := engine.SearchBatch(idx, queries, 0)
+	if len(got) != len(queries) {
+		t.Fatalf("%s: k=0 batch has %d slots, want %d", name, len(got), len(queries))
+	}
+	for i, r := range got {
+		if r != nil {
+			t.Fatalf("%s: k=0 query %d returned %d neighbors", name, i, len(r))
+		}
+	}
+}
+
+func TestSearchBatchSeqScan(t *testing.T) {
+	db, queries := batchData(t, 300, 25)
+	checkBatchMatchesSerial(t, "seqscan", db, queries, func() index.Index[[]float32] {
+		return seqscan.New[[]float32](space.L2{}, db)
+	})
+}
+
+func TestSearchBatchNAPP(t *testing.T) {
+	db, queries := batchData(t, 300, 25)
+	checkBatchMatchesSerial(t, "napp", db, queries, func() index.Index[[]float32] {
+		na, err := core.NewNAPP[[]float32](space.L2{}, db, core.NAPPOptions{
+			NumPivots: 64, NumPivotIndex: 16, MinShared: 1, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return na
+	})
+}
+
+func TestSearchBatchLSH(t *testing.T) {
+	db, queries := batchData(t, 300, 25)
+	checkBatchMatchesSerial(t, "mplsh", db, queries, func() index.Index[[]float32] {
+		x, err := lsh.New(db, lsh.Options{Tables: 8, Hashes: 8, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	})
+}
+
+func TestSearchBatchSWGraph(t *testing.T) {
+	db, queries := batchData(t, 300, 25)
+	// Graph search consumes a shared entry-point counter, so each
+	// equivalence run needs a fresh, identically built graph (Workers: 1
+	// keeps construction deterministic).
+	checkBatchMatchesSerial(t, "sw-graph", db, queries, func() index.Index[[]float32] {
+		g, err := knngraph.NewSW[[]float32](space.L2{}, db, knngraph.Options{
+			NN: 8, Workers: 1, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	})
+}
+
+// TestSearchBatchSWGraphCounterState verifies the Batcher contract beyond
+// the results themselves: after a batch, the graph must be in the exact
+// state a serial loop would have left, so that subsequent single queries
+// still match.
+func TestSearchBatchSWGraphCounterState(t *testing.T) {
+	db, queries := batchData(t, 300, 25)
+	build := func() *knngraph.Graph[[]float32] {
+		g, err := knngraph.NewSW[[]float32](space.L2{}, db, knngraph.Options{NN: 8, Workers: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	serial, batched := build(), build()
+	wantBatch := serialLoop[[]float32](serial, queries, 10)
+	gotBatch := engine.SearchBatchPool(engine.NewPool(4), batched, queries, 10)
+	if !reflect.DeepEqual(wantBatch, gotBatch) {
+		t.Fatal("batch differs from serial loop")
+	}
+	for i := 0; i < 5; i++ {
+		want := serial.Search(queries[i], 10)
+		got := batched.Search(queries[i], 10)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("post-batch query %d diverged: counter state not preserved", i)
+		}
+	}
+}
+
+func TestSearchBatchDispatchesToBatcher(t *testing.T) {
+	db, queries := batchData(t, 100, 5)
+	g, err := knngraph.NewSW[[]float32](space.L2{}, db, knngraph.Options{NN: 8, Workers: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := any(g).(index.Batcher[[]float32]); !ok {
+		t.Fatal("Graph does not implement index.Batcher")
+	}
+	if got := engine.SearchBatch[[]float32](g, queries, 3); len(got) != len(queries) {
+		t.Fatalf("batch returned %d slots", len(got))
+	}
+}

@@ -371,7 +371,12 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 			}
 			for _, v := range s.variants {
 				v.apply(idx)
-				res := eval.Measure(idx, queries, truth, cfg.K, bruteTime, nil)
+				var res eval.Result
+				if cfg.Workers == 0 || cfg.Workers == 1 {
+					res = eval.Measure(idx, queries, truth, cfg.K, bruteTime, nil)
+				} else {
+					res = eval.MeasureBatch(idx, queries, truth, cfg.K, bruteTime, nil, cfg.Workers)
+				}
 				res.Method = s.method
 				res.BuildTime = buildTime
 				k := key{s.method, v.label}
@@ -386,7 +391,8 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 	for _, k := range order {
 		m := eval.MeanResult(acc[k])
 		if err := tsv(w, c.name, k.method, k.label, m.Recall, m.Improvement,
-			m.QueryTime, fmt.Sprintf("%.1fs", m.BuildTime.Seconds()),
+			m.QueryTime, m.QPS,
+			fmt.Sprintf("%.1fs", m.BuildTime.Seconds()),
 			fmt.Sprintf("%.1fMB", float64(m.IndexBytes)/(1<<20))); err != nil {
 			return err
 		}

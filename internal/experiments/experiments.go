@@ -33,6 +33,13 @@ type Config struct {
 	K int
 	// Seed makes the whole experiment deterministic.
 	Seed int64
+	// Workers is the query-path parallelism: evaluation queries are
+	// fanned out over this many goroutines via the batch engine
+	// (internal/engine). 0 or 1 runs the paper's single-thread protocol;
+	// results are identical either way, only the timing columns change
+	// (per-query latency is then measured inside the workers and a
+	// wall-clock QPS is reported). Negative means GOMAXPROCS.
+	Workers int
 }
 
 // withDefaults fills unset fields.
@@ -129,4 +136,3 @@ func tsv(w io.Writer, cols ...interface{}) error {
 	_, err := fmt.Fprintln(w)
 	return err
 }
-

@@ -198,7 +198,7 @@ func TestFigure4Rows(t *testing.T) {
 	methods := map[string]int{}
 	for sc.Scan() {
 		fields := strings.Split(sc.Text(), "\t")
-		if len(fields) != 8 {
+		if len(fields) != 9 {
 			t.Fatalf("figure 4 row has %d fields: %q", len(fields), sc.Text())
 		}
 		recall, err := strconv.ParseFloat(fields[3], 64)
@@ -280,5 +280,37 @@ func TestTuneValidation(t *testing.T) {
 	}
 	if _, err := Tune("sift", "vptree", small, 2); err == nil {
 		t.Fatal("bad target accepted")
+	}
+}
+
+// TestRunMethodsWorkersParity verifies the -workers query path changes only
+// timing columns: the deterministic columns (dataset, method, params,
+// recall) must be identical to the single-thread protocol.
+func TestRunMethodsWorkersParity(t *testing.T) {
+	r, _ := Get("wiki-8-kl")
+	var serial, batch bytes.Buffer
+	cfg := small
+	cfg.Workers = 1
+	if err := r.RunMethods(cfg, []string{"napp"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 3
+	if err := r.RunMethods(cfg, []string{"napp"}, &batch); err != nil {
+		t.Fatal(err)
+	}
+	sLines := strings.Split(strings.TrimSpace(serial.String()), "\n")
+	bLines := strings.Split(strings.TrimSpace(batch.String()), "\n")
+	if len(sLines) != len(bLines) || len(sLines) == 0 {
+		t.Fatalf("row count mismatch: %d vs %d", len(sLines), len(bLines))
+	}
+	for i := range sLines {
+		sf := strings.Split(sLines[i], "\t")
+		bf := strings.Split(bLines[i], "\t")
+		for _, col := range []int{0, 1, 2, 3} {
+			if sf[col] != bf[col] {
+				t.Fatalf("row %d column %d differs across worker counts: %q vs %q",
+					i, col, sLines[i], bLines[i])
+			}
+		}
 	}
 }

@@ -20,6 +20,21 @@ type Index[T any] interface {
 	Name() string
 }
 
+// Batcher is implemented by indexes that need to cooperate with the batch
+// query engine (internal/engine) to keep a concurrent batch identical to a
+// serial query loop — typically because Search consumes shared mutable
+// state, like the proximity graph's entry-point seed counter. SearchBatch
+// must return, for every i, exactly what the i-th call of a serial Search
+// loop started from the index's current state would return, and must leave
+// the index in the same state that loop would. workers bounds parallelism
+// (<= 0 means GOMAXPROCS).
+//
+// Indexes whose Search is a pure function of (query, k) do not need this;
+// engine.SearchBatch fans them out directly.
+type Batcher[T any] interface {
+	SearchBatch(queries []T, k, workers int) [][]topk.Neighbor
+}
+
 // Stats describes index footprint for Table 2 style reports.
 type Stats struct {
 	// Bytes is the approximate heap footprint of the index structure,

@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -132,6 +133,35 @@ func (g *Graph[T]) Search(query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return nil
 	}
+	return g.searchSeeded(query, k, g.seedCtr.Add(1))
+}
+
+// SearchBatch implements index.Batcher: it answers the batch concurrently
+// yet byte-identical to a serial Search loop. Search's entry points are
+// drawn from the shared seedCtr, so a naive concurrent fan-out would hand
+// each query whichever counter value its goroutine happened to draw; here
+// the whole counter range is reserved up front and query i is pinned to the
+// value the i-th serial call would have consumed.
+func (g *Graph[T]) SearchBatch(queries []T, k, workers int) [][]topk.Neighbor {
+	out := make([][]topk.Neighbor, len(queries))
+	if k <= 0 {
+		// A serial loop would return nil per query without consuming
+		// any counter values; match that.
+		return out
+	}
+	base := g.seedCtr.Add(int64(len(queries))) - int64(len(queries))
+	engine.NewPool(workers).ForDynamic(len(queries), func(i int) {
+		out[i] = g.searchSeeded(queries[i], k, base+int64(i)+1)
+	})
+	return out
+}
+
+// searchSeeded answers one query with the entry-point RNG derived from ctr
+// (a seedCtr value).
+func (g *Graph[T]) searchSeeded(query T, k int, ctr int64) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
 	ef := g.opts.EfSearch
 	if ef < k {
 		ef = k
@@ -139,7 +169,7 @@ func (g *Graph[T]) Search(query T, k int) []topk.Neighbor {
 	if ef < g.opts.NN {
 		ef = g.opts.NN
 	}
-	r := rand.New(rand.NewSource(g.opts.Seed ^ g.seedCtr.Add(1)))
+	r := rand.New(rand.NewSource(g.opts.Seed ^ ctr))
 	res := g.searchInternal(query, ef, g.opts.InitAttempts, r, nil, false)
 	if len(res) > k {
 		res = res[:k]

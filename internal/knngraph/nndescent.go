@@ -3,10 +3,10 @@ package knngraph
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/space"
 )
 
@@ -329,34 +329,7 @@ func reverseSample(r *rand.Rand, fwd [][]uint32, n, maxLen int) [][]uint32 {
 }
 
 // parallel runs f(i) for i in [0, n) on up to workers goroutines (0 means
-// GOMAXPROCS).
+// GOMAXPROCS; see engine.Pool.For).
 func parallel(n, workers int, f func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	engine.NewPool(workers).For(n, f)
 }

@@ -3,9 +3,9 @@ package knngraph
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -21,10 +21,6 @@ func NewSW[T any](sp space.Space[T], data []T, opts Options) (*Graph[T], error) 
 	opts.defaults()
 	if len(data) == 0 {
 		return nil, fmt.Errorf("knngraph: empty data set")
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
 	}
 	g := &Graph[T]{
 		sp:   sp,
@@ -50,34 +46,19 @@ func NewSW[T any](sp space.Space[T], data []T, opts Options) (*Graph[T], error) 
 		return g, nil
 	}
 
+	// Insertions are handed out one at a time so nodes enter the graph
+	// roughly in id order: the insertion search may only visit nodes
+	// [0, id), which are fully linked or being linked. Each worker keeps
+	// its own RNG for entry-point draws.
 	var mu sync.RWMutex
-	var next = boot
-	var nextMu sync.Mutex
-	var wg sync.WaitGroup
-	if workers > len(data)-boot {
-		workers = len(data) - boot
+	pool := engine.NewPool(opts.Workers)
+	rands := make([]*rand.Rand, pool.Workers())
+	for w := range rands {
+		rands[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
 	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			r := rand.New(rand.NewSource(opts.Seed + int64(worker)*7919))
-			for {
-				nextMu.Lock()
-				i := next
-				next++
-				// liveN is how much of the graph is visible to
-				// the insertion search: nodes [0, i) are fully
-				// linked or being linked.
-				nextMu.Unlock()
-				if i >= len(data) {
-					return
-				}
-				g.insertSW(uint32(i), r, &mu)
-			}
-		}(w)
-	}
-	wg.Wait()
+	pool.ForWithID(len(data)-boot, func(worker, j int) {
+		g.insertSW(uint32(boot+j), rands[worker], &mu)
+	})
 	return g, nil
 }
 

@@ -6,9 +6,7 @@
 package seqscan
 
 import (
-	"runtime"
-	"sync"
-
+	"repro/internal/engine"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -49,35 +47,7 @@ func (s *Scanner[T]) Search(query T, k int) []topk.Neighbor {
 // CPUs. It exists for ground-truth generation, where the sequential
 // single-query path would dominate experiment setup time.
 func (s *Scanner[T]) SearchAll(queries []T, k int) [][]topk.Neighbor {
-	out := make([][]topk.Neighbor, len(queries))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(queries) {
-		workers = len(queries)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(queries) {
-					return
-				}
-				out[i] = s.Search(queries[i], k)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return engine.SearchBatch[T](s, queries, k)
 }
 
 // RangeSearch returns all points within distance radius of query, ordered by

@@ -22,6 +22,19 @@
 // (brute-force filtering, PP-index, MI-file, NAPP, OMEDRANK, permutation
 // VP-tree) take a gamma-style candidate budget; see the option structs.
 //
+// # Batch search
+//
+// For throughput-oriented workloads, SearchBatch fans a slab of queries out
+// over a worker pool against any index:
+//
+//	results := permsearch.SearchBatch(idx, queries, 10)          // GOMAXPROCS workers
+//	results := permsearch.SearchBatchWorkers(idx, queries, 10, 4) // bounded pool
+//
+// results[i] is always exactly what idx.Search(queries[i], 10) would have
+// returned in a serial loop — parallelism never changes answers, only
+// wall-clock time. The evaluation tools expose the same engine through
+// their -workers flag (e.g. cmd/annbench).
+//
 // # Spaces
 //
 // A Space[T] is any (possibly non-metric) dissimilarity; implementations
@@ -34,6 +47,7 @@ package permsearch
 
 import (
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/knngraph"
 	"repro/internal/lsh"
@@ -84,6 +98,26 @@ type (
 	// SQFD is the Signature Quadratic Form Distance.
 	SQFD = space.SQFD
 )
+
+// Pool is a bounded worker pool, the concurrency substrate shared by batch
+// search and parallel index construction. The zero value runs at GOMAXPROCS.
+type Pool = engine.Pool
+
+// NewPool returns a pool of at most workers goroutines (<= 0: GOMAXPROCS).
+func NewPool(workers int) Pool { return engine.NewPool(workers) }
+
+// SearchBatch answers a batch of queries concurrently on a GOMAXPROCS-wide
+// pool. results[i] is exactly what idx.Search(queries[i], k) would return
+// in a serial loop; ordering is deterministic regardless of scheduling.
+func SearchBatch[T any](idx Index[T], queries []T, k int) [][]Neighbor {
+	return engine.SearchBatch(idx, queries, k)
+}
+
+// SearchBatchWorkers is SearchBatch on a pool bounded to workers goroutines
+// (<= 0 means GOMAXPROCS).
+func SearchBatchWorkers[T any](idx Index[T], queries []T, k, workers int) [][]Neighbor {
+	return engine.SearchBatchPool(engine.NewPool(workers), idx, queries, k)
+}
 
 // NewSparseVector validates and sorts a sparse vector.
 func NewSparseVector(idx []int32, val []float32) (SparseVector, error) {

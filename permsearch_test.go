@@ -2,6 +2,7 @@ package permsearch_test
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	permsearch "repro"
@@ -86,5 +87,43 @@ func TestFacadeObjectConstructors(t *testing.T) {
 	}
 	if _, err := permsearch.NewSignature([]float32{1}, []float32{1, 2, 3}, 3); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFacadeSearchBatch checks the batch entry points the package doc
+// advertises: concurrent answers equal to the serial Search loop, on both
+// the default and a bounded pool.
+func TestFacadeSearchBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	data := make([][]float32, 400)
+	for i := range data {
+		v := make([]float32, 12)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	db, queries := data[:360], data[360:]
+
+	idx, err := permsearch.NewNAPP[[]float32](permsearch.L2{}, db, permsearch.NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, MinShared: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]permsearch.Neighbor, len(queries))
+	for i, q := range queries {
+		want[i] = idx.Search(q, 10)
+	}
+	for name, got := range map[string][][]permsearch.Neighbor{
+		"SearchBatch":        permsearch.SearchBatch[[]float32](idx, queries, 10),
+		"SearchBatchWorkers": permsearch.SearchBatchWorkers[[]float32](idx, queries, 10, 3),
+	} {
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s differs from serial Search loop", name)
+		}
+	}
+	if n := permsearch.NewPool(3).Workers(); n != 3 {
+		t.Fatalf("NewPool(3).Workers() = %d", n)
 	}
 }
