@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt ci
+.PHONY: build test race bench vet fmt check fuzz ci
 
 build:
 	$(GO) build ./...
@@ -16,17 +16,31 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-test:
-	$(GO) test ./...
+# Static gate: formatting + vet, exactly as CI runs them.
+check: fmt vet
 
-# Race-check the concurrency-heavy packages: the batch query engine and the
-# SW/NN-descent graph construction goroutines.
+# -shuffle randomizes test order within each package on every run, so
+# accidental inter-test state dependence fails fast instead of festering.
+test:
+	$(GO) test -shuffle=on ./...
+
+# Race-check the concurrency-heavy packages: the batch query engine, the
+# SW/NN-descent graph construction goroutines, and the cross-index
+# conformance suite (whose concurrent-Search property puts every index kind
+# under simultaneous queries).
 race:
-	$(GO) test -race -short ./internal/engine/... ./internal/knngraph/...
+	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/...
+
+# Short coverage-guided fuzz of the index-file decoder: corrupt blobs must
+# error, never panic or over-allocate. The checked-in seed corpus lives in
+# internal/codec/testdata/fuzz (regenerate with WRITE_FUZZ_CORPUS=1 after
+# format changes).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 30s ./internal/codec/
 
 # Batch-engine throughput: the serial reference loop vs SearchBatch at
 # 1/2/4/8 workers over the sequential scan.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSearchBatch -benchmem ./internal/engine/
 
-ci: fmt build vet test race
+ci: check build test race fuzz

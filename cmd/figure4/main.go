@@ -8,6 +8,10 @@
 // Usage:
 //
 //	figure4 [-n 5000] [-queries 100] [-folds 1] [-k 10] [-workers 1] [-datasets ...]
+//	        [-save-index DIR] [-load-index DIR]
+//
+// -save-index / -load-index persist built indexes (internal/codec format)
+// so repeated runs over the same seed/n/folds skip construction.
 package main
 
 import (
@@ -26,6 +30,8 @@ func main() {
 	k := flag.Int("k", 10, "neighbors per query")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 1, "goroutines running evaluation queries (1 = single-thread protocol, -1 = GOMAXPROCS)")
+	saveIndex := flag.String("save-index", "", "directory to persist every built index into (internal/codec format)")
+	loadIndex := flag.String("load-index", "", "directory to warm-start indexes from, skipping construction when a matching file exists (same seed/n/folds required)")
 	datasets := flag.String("datasets", "", "comma-separated subset (default: all nine)")
 	flag.Parse()
 
@@ -33,7 +39,8 @@ func main() {
 	if *datasets != "" {
 		names = strings.Split(*datasets, ",")
 	}
-	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed, Workers: *workers,
+		SaveIndexDir: *saveIndex, LoadIndexDir: *loadIndex}
 	fmt.Println("# Figure 4: dataset\tmethod\tparams\trecall\timprovement\tquery-time\tqps\tbuild-time\tindex-size")
 	for _, name := range names {
 		r, ok := experiments.Get(name)

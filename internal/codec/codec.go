@@ -1,0 +1,117 @@
+// Package codec implements the on-disk format shared by every index in this
+// repository. The paper's pipeline rebuilds each index from scratch on every
+// run; persisting the built structure lets a benchmark (or a serving
+// process) construct once and warm-start many times, paying only the load
+// cost instead of the full set of construction distance computations.
+//
+// # Format
+//
+// A persisted index is a single binary blob:
+//
+//	offset 0  magic   "PSIX" (4 bytes)
+//	          version uint16, little-endian (currently 1)
+//	          kind    length-prefixed UTF-8 string (the index.Name tag,
+//	                  e.g. "napp" or "sw-graph")
+//	          space   length-prefixed UTF-8 string (space.Space.Name of the
+//	                  distance the index was built under)
+//	          n       uint64, number of data points the index was built over
+//	          payload kind-specific sections (see the persist.go file of
+//	                  each index package)
+//	trailer   crc32c  uint32 Castagnoli checksum of every preceding byte
+//
+// All integers are little-endian. Variable-length sections are
+// length-prefixed; lengths are validated against the number of bytes
+// actually remaining in the blob before any allocation, so a corrupted or
+// adversarial length can never cause an out-of-memory allocation (see
+// FuzzLoad).
+//
+// # Versioning policy
+//
+// Version is bumped whenever the header or any kind payload changes
+// incompatibly. Readers reject versions they do not know; there is no
+// in-place migration — an index saved by an old build is simply rebuilt
+// from the data. The raw data objects are deliberately NOT part of the
+// format: an index file is a companion to the data set it was built from
+// (loaders receive the same data slice and verify its length and space
+// name), which keeps the format object-type-agnostic — one codec serves
+// dense vectors, sparse vectors, histograms, strings and SQFD signatures
+// alike. Pivot sets are stored as ids into the data slice, never as
+// serialized objects.
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Magic is the 4-byte file signature.
+const Magic = "PSIX"
+
+// Version is the current format version, bumped on incompatible changes.
+const Version = 1
+
+// Kind tags, one per persistable index family. The tag doubles as the
+// index's report name (index.Index.Name), so a file is self-describing.
+const (
+	KindBruteForce = "brute-force-filt"
+	KindBinFilter  = "brute-force-filt-bin"
+	KindDistVec    = "distvec-filt"
+	KindPPIndex    = "pp-index"
+	KindMIFile     = "mi-file"
+	KindNAPP       = "napp"
+	KindOMEDRANK   = "omedrank"
+	KindPermVPTree = "perm-vptree"
+	KindVPTree     = "vptree"
+	KindMPLSH      = "mplsh"
+	KindSWGraph    = "sw-graph"
+	KindNNDescent  = "nndescent-graph"
+	KindSeqScan    = "seqscan"
+)
+
+// Kinds lists every kind tag the registry (internal/persist) can load, in a
+// fixed report order.
+func Kinds() []string {
+	return []string{
+		KindBruteForce, KindBinFilter, KindDistVec, KindPPIndex,
+		KindMIFile, KindNAPP, KindOMEDRANK, KindPermVPTree,
+		KindVPTree, KindMPLSH, KindSWGraph, KindNNDescent, KindSeqScan,
+	}
+}
+
+// ErrCorrupt is wrapped by every decoding error caused by malformed input
+// (bad magic, short read, failed checksum, out-of-range length or id).
+var ErrCorrupt = errors.New("codec: corrupt index file")
+
+// ErrUnsupportedVersion is returned by NewReader for a well-formed file
+// written by a different format version. It is distinct from ErrCorrupt so
+// warm-start paths can fall back to rebuilding (the documented
+// rebuild-not-migrate policy) while still failing loudly on real damage.
+var ErrUnsupportedVersion = errors.New("codec: unsupported format version")
+
+// ErrNotPersistable is returned by Save when an index cannot be serialized —
+// today only indexes built over explicit pivot objects (rather than pivots
+// sampled from the data set), whose pivots have no data ids to reference.
+var ErrNotPersistable = errors.New("codec: index is not persistable")
+
+// corruptf returns an ErrCorrupt-wrapping error with detail.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+}
+
+// Header is the decoded fixed prelude of a persisted index.
+type Header struct {
+	// Version is the format version the file was written with.
+	Version uint16
+	// Kind is the index-kind tag (one of the Kind constants).
+	Kind string
+	// Space is the report name of the distance space the index was built
+	// under; loaders reject a mismatching space.
+	Space string
+	// N is the number of data points the index was built over; loaders
+	// reject a data slice of any other length.
+	N uint64
+}
+
+// maxTagLen bounds the kind and space strings in the header; real tags are
+// all far shorter, and the cap keeps corrupt headers from allocating.
+const maxTagLen = 256

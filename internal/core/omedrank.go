@@ -56,8 +56,11 @@ type OMEDRANK[T any] struct {
 	sp     space.Space[T]
 	data   []T
 	pivots []T
-	voters []omedVoter
-	opts   OMEDRANKOptions
+	// pivotIDs records each voter's position in the data slice, so the
+	// index can be persisted by reference (see persist.go).
+	pivotIDs []int32
+	voters   []omedVoter
+	opts     OMEDRANKOptions
 }
 
 // NewOMEDRANK samples voters and sorts the data by distance from each.
@@ -73,6 +76,7 @@ func NewOMEDRANK[T any](sp space.Space[T], data []T, opts OMEDRANKOptions) (*OME
 	om := &OMEDRANK[T]{sp: sp, data: data, opts: opts}
 	for _, vi := range r.Perm(len(data))[:opts.NumVoters] {
 		om.pivots = append(om.pivots, data[vi])
+		om.pivotIDs = append(om.pivotIDs, int32(vi))
 	}
 	om.voters = make([]omedVoter, opts.NumVoters)
 	parallelFor(opts.NumVoters, func(v int) {

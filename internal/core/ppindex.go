@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/index"
 	"repro/internal/permutation"
@@ -195,5 +196,9 @@ func (pp *PPIndex[T]) Search(query T, k int) []topk.Neighbor {
 			}
 		}
 	}
+	// collect walks child maps, so the candidate order above is not
+	// deterministic; sort before refining so ties at the k boundary are
+	// always broken the same way (smallest id wins, matching topk.ByDist).
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return refine(pp.sp, pp.data, query, ids, k)
 }

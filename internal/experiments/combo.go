@@ -1,20 +1,36 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/persist"
 	"repro/internal/seqscan"
 	"repro/internal/space"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
 )
+
+// indexFileName is the file layout of the -save-index / -load-index
+// directories. Everything that determines the fold's db split — seed, N,
+// query count, fold count — is part of the key: the codec header only
+// records the data-set *size*, so without these a warm start from a run
+// with, say, a different seed would silently resolve pivot ids against the
+// wrong objects.
+func indexFileName(cfg Config, dataset, method string, fold int) string {
+	return fmt.Sprintf("%s-%s-n%d-q%d-f%d-seed%d-fold%d.psix",
+		dataset, method, cfg.N, cfg.Queries, cfg.Folds, cfg.Seed, fold)
+}
 
 // variant is one query-time parameter setting of a built index.
 type variant[T any] struct {
@@ -355,7 +371,7 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 	acc := map[key][]eval.Result{}
 	var order []key
 
-	for _, split := range splits {
+	for fold, split := range splits {
 		db, queries := eval.Apply(data, split)
 		truth := eval.GroundTruth(c.sp, db, queries, cfg.K)
 		bruteTime, _ := eval.BruteTime(c.sp, db, queries, cfg.K)
@@ -363,11 +379,39 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 			if !wanted(s.method) {
 				continue
 			}
+			// Warm start: load the persisted index when a matching file
+			// exists, otherwise build (and optionally persist for the
+			// next run). The timing column reports whichever happened.
+			loaded := false
 			idx, buildTime, err := eval.MeasureBuild(func() (index.Index[T], error) {
+				if cfg.LoadIndexDir != "" {
+					path := filepath.Join(cfg.LoadIndexDir, indexFileName(cfg, c.name, s.method, fold))
+					switch idx, err := persist.LoadFile(path, c.sp, db); {
+					case err == nil:
+						loaded = true
+						return idx, nil
+					case errors.Is(err, os.ErrNotExist),
+						errors.Is(err, codec.ErrUnsupportedVersion):
+						// Missing file, or one from an older format
+						// build: rebuild (and re-save) transparently,
+						// per the rebuild-not-migrate policy.
+					default:
+						return nil, fmt.Errorf("loading %s: %w", path, err)
+					}
+				}
 				return s.build(c.sp, db)
 			})
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", c.name, s.method, err)
+			}
+			if cfg.SaveIndexDir != "" && !loaded {
+				if err := os.MkdirAll(cfg.SaveIndexDir, 0o755); err != nil {
+					return err
+				}
+				path := filepath.Join(cfg.SaveIndexDir, indexFileName(cfg, c.name, s.method, fold))
+				if err := persist.SaveFile(path, idx); err != nil {
+					return fmt.Errorf("saving %s: %w", path, err)
+				}
 			}
 			for _, v := range s.variants {
 				v.apply(idx)

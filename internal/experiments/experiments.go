@@ -40,6 +40,18 @@ type Config struct {
 	// (per-query latency is then measured inside the workers and a
 	// wall-clock QPS is reported). Negative means GOMAXPROCS.
 	Workers int
+	// SaveIndexDir, when set, persists every index built during the run
+	// into this directory (one file per dataset/method/fold, in the
+	// internal/codec format). LoadIndexDir, when set, warm-starts from
+	// the matching file instead of building when it exists — the
+	// build-time column then reports the load time. Point both at the
+	// same directory to build once and skip construction on every later
+	// run. File names are keyed by everything that determines the fold's
+	// data split (dataset, method, seed, N, query count, fold count), so
+	// a run with different settings misses the stale files and simply
+	// rebuilds; a present-but-corrupt file fails the run loudly.
+	SaveIndexDir string
+	LoadIndexDir string
 }
 
 // withDefaults fills unset fields.

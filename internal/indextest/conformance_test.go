@@ -1,0 +1,52 @@
+package indextest
+
+import (
+	"testing"
+
+	"repro/internal/space"
+)
+
+// TestConformance_Dense runs the behavioral contract over every index kind
+// (including the dense-only MPLSH) on SIFT-like vectors under L2.
+func TestConformance_Dense(t *testing.T) {
+	db, queries := denseCorpus()
+	sp := space.L2{}
+	// Probe with held-out points and with indexed points themselves (the
+	// exact-match edge: distance zero must surface first for exact and
+	// near-exact methods without tripping any invariant).
+	queries = append(queries, db[0], db[len(db)/2])
+	for _, kc := range denseKinds(sp, db) {
+		t.Run(kc.kind, func(t *testing.T) {
+			Conformance(t, space.Space[[]float32](sp), db, queries, kc.build)
+		})
+	}
+}
+
+// TestConformance_DNA re-runs the contract over byte strings under
+// normalized Levenshtein, covering non-vector object types.
+func TestConformance_DNA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("levenshtein conformance is the slow half of the suite")
+	}
+	db, queries := dnaCorpus()
+	sp := space.NormalizedLevenshtein{}
+	queries = append(queries, db[1])
+	for _, kc := range genericKinds[[]byte](sp, db) {
+		t.Run(kc.kind, func(t *testing.T) {
+			Conformance(t, space.Space[[]byte](sp), db, queries, kc.build)
+		})
+	}
+}
+
+// TestConformance_Histogram re-runs the contract under the asymmetric
+// KL-divergence, the space where pruning directions matter most.
+func TestConformance_Histogram(t *testing.T) {
+	db, queries := histoCorpus()
+	sp := space.KLDivergence{}
+	queries = append(queries, db[2])
+	for _, kc := range genericKinds[space.Histogram](sp, db) {
+		t.Run(kc.kind, func(t *testing.T) {
+			Conformance(t, space.Space[space.Histogram](sp), db, queries, kc.build)
+		})
+	}
+}

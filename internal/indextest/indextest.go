@@ -1,0 +1,180 @@
+// Package indextest is the cross-index conformance suite: a set of
+// behavioral properties every index.Index implementation in this repository
+// must satisfy, exercised over every registered kind by the tests in this
+// package (and reusable by future index packages). The properties are the
+// interface contract written as code:
+//
+//   - results are ordered by increasing distance, carry true distances, and
+//     never repeat or fabricate ids;
+//   - k edge cases hold: k <= 0 returns nothing, k = 1 returns the single
+//     best candidate, k > n returns at most n results;
+//   - a concurrent batch via engine.SearchBatch returns exactly what a
+//     serial Search loop would (the engine contract);
+//   - Search is safe for concurrent use (validated under the CI race job).
+//
+// The roundtrip suite (roundtrip.go) extends the contract to persistence:
+// Save then Load must yield an index whose every answer — and persisted byte
+// stream — is identical to the original's.
+package indextest
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// Builder constructs a fresh index over the data set under test. It is
+// invoked more than once by some properties and must be deterministic enough
+// that equality checks across instances are meaningful (fix all seeds, use
+// Workers: 1 for SW graphs).
+type Builder[T any] func() (index.Index[T], error)
+
+// Conformance runs every behavioral property against the index built by
+// build over (sp, data), probing with the given queries. Queries should
+// include both held-out points and points of the data set itself.
+func Conformance[T any](t *testing.T, sp space.Space[T], data []T, queries []T, build Builder[T]) {
+	t.Helper()
+	if len(data) == 0 || len(queries) == 0 {
+		t.Fatal("indextest: empty data or queries")
+	}
+
+	t.Run("results-well-formed", func(t *testing.T) {
+		idx, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, 10} {
+			for qi, q := range queries {
+				checkWellFormed(t, sp, data, q, idx.Search(q, k), k, fmt.Sprintf("query %d k=%d", qi, k))
+			}
+		}
+	})
+
+	t.Run("k-edge-cases", func(t *testing.T) {
+		idx, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := queries[0]
+		if got := idx.Search(q, 0); len(got) != 0 {
+			t.Errorf("Search(q, 0) returned %d results, want 0", len(got))
+		}
+		if got := idx.Search(q, -3); len(got) != 0 {
+			t.Errorf("Search(q, -3) returned %d results, want 0", len(got))
+		}
+		// Approximate filter methods may exhaust their candidate set and
+		// return fewer than k results (the interface allows it), but k=1
+		// must yield a result whenever a larger k over the same candidates
+		// does — an index that answers at k=20 but not at k=1 is broken.
+		one := idx.Search(q, 1)
+		if len(one) > 1 {
+			t.Errorf("Search(q, 1) returned %d results", len(one))
+		}
+		big := len(data) + 7
+		got := idx.Search(q, big)
+		if len(got) > len(data) {
+			t.Errorf("Search(q, %d) returned %d results, more than the %d indexed points", big, len(got), len(data))
+		}
+		if len(one) == 0 && len(got) > 0 {
+			t.Errorf("Search(q, 1) found nothing but Search(q, %d) found %d results", big, len(got))
+		}
+		checkWellFormed(t, sp, data, q, got, big, fmt.Sprintf("k=%d > n", big))
+	})
+
+	t.Run("batch-matches-serial", func(t *testing.T) {
+		const k = 10
+		serialIdx, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchIdx := clone(t, sp, data, serialIdx, build)
+		want := make([][]topk.Neighbor, len(queries))
+		for i, q := range queries {
+			want[i] = serialIdx.Search(q, k)
+		}
+		got := engine.SearchBatchPool(engine.NewPool(4), batchIdx, queries, k)
+		for i := range queries {
+			diffResults(t, want[i], got[i], fmt.Sprintf("query %d", i))
+		}
+	})
+
+	t.Run("concurrent-search", func(t *testing.T) {
+		// No assertions on answers — the property is the absence of data
+		// races (the CI race job runs this package under -race) and
+		// panics when many goroutines share one index.
+		idx, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		const goroutines = 8
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i, q := range queries {
+					idx.Search(q, 1+(g+i)%7)
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+}
+
+// checkWellFormed asserts the core result invariants: at most k entries,
+// no duplicate or out-of-range ids, distances non-decreasing and equal to
+// the true distance between the returned point and the query.
+func checkWellFormed[T any](t *testing.T, sp space.Space[T], data []T, query T, res []topk.Neighbor, k int, ctx string) {
+	t.Helper()
+	if len(res) > k {
+		t.Errorf("%s: %d results exceed k=%d", ctx, len(res), k)
+	}
+	seen := make(map[uint32]struct{}, len(res))
+	for i, nb := range res {
+		if int(nb.ID) >= len(data) {
+			t.Errorf("%s: result %d has id %d, data set holds %d points", ctx, i, nb.ID, len(data))
+			continue
+		}
+		if _, dup := seen[nb.ID]; dup {
+			t.Errorf("%s: id %d returned twice", ctx, nb.ID)
+		}
+		seen[nb.ID] = struct{}{}
+		if i > 0 && nb.Dist < res[i-1].Dist {
+			t.Errorf("%s: distances not ordered: res[%d]=%g < res[%d]=%g", ctx, i, nb.Dist, i-1, res[i-1].Dist)
+		}
+		if td := sp.Distance(data[nb.ID], query); !sameDist(nb.Dist, td) {
+			t.Errorf("%s: result %d reports distance %g, true distance is %g", ctx, i, nb.Dist, td)
+		}
+	}
+}
+
+// sameDist compares a reported distance with a recomputed one. Both come
+// from the same Distance implementation over the same arguments, so exact
+// equality is expected; NaN never is.
+func sameDist(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return a == b
+}
+
+// diffResults asserts two result lists are identical (ids and distances).
+func diffResults(t *testing.T, want, got []topk.Neighbor, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: got %d results, want %d", ctx, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: result %d = {id %d, dist %g}, want {id %d, dist %g}",
+				ctx, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+		}
+	}
+}

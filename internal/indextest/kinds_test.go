@@ -1,0 +1,126 @@
+package indextest
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/knngraph"
+	"repro/internal/lsh"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/vptree"
+)
+
+// The kind matrix: one deterministic builder per registered index kind,
+// shared by the conformance and roundtrip test drivers. Builders fix every
+// seed and use Workers: 1 so repeated builds are identical (required by the
+// batch-vs-serial property's fallback clone path).
+
+const (
+	dbSize   = 300
+	querySz  = 12
+	kindSeed = 7
+)
+
+// kindCase names one index kind under test, generically over object type.
+type kindCase[T any] struct {
+	kind  string
+	build Builder[T]
+}
+
+// genericKinds lists every kind constructible over an arbitrary space; the
+// dense-vector driver appends mplsh.
+func genericKinds[T any](sp space.Space[T], db []T) []kindCase[T] {
+	return []kindCase[T]{
+		{"brute-force-filt", func() (index.Index[T], error) {
+			return core.NewBruteForceFilter(sp, db, core.BruteForceOptions{NumPivots: 32, Seed: kindSeed})
+		}},
+		{"brute-force-filt-bin", func() (index.Index[T], error) {
+			return core.NewBinFilter(sp, db, core.BinFilterOptions{NumPivots: 64, Seed: kindSeed})
+		}},
+		{"distvec-filt", func() (index.Index[T], error) {
+			return core.NewDistVecFilter(sp, db, core.BruteForceOptions{NumPivots: 32, Seed: kindSeed})
+		}},
+		{"pp-index", func() (index.Index[T], error) {
+			return core.NewPPIndex(sp, db, core.PPIndexOptions{NumPivots: 16, PrefixLen: 4, Copies: 2, Seed: kindSeed})
+		}},
+		{"mi-file", func() (index.Index[T], error) {
+			return core.NewMIFile(sp, db, core.MIFileOptions{
+				NumPivots: 32, NumPivotIndex: 16, NumPivotSearch: 8, MaxPosDiff: 10, Seed: kindSeed,
+			})
+		}},
+		{"napp", func() (index.Index[T], error) {
+			return core.NewNAPP(sp, db, core.NAPPOptions{
+				NumPivots: 64, NumPivotIndex: 16, MinShared: 1, Seed: kindSeed,
+			})
+		}},
+		{"napp-dynamic", func() (index.Index[T], error) {
+			// The dynamic flavor of NAPP: same structure plus live
+			// tombstones and appended points, exercising the persisted
+			// maintenance state.
+			na, err := core.NewNAPP(sp, db[:len(db)-2], core.NAPPOptions{
+				NumPivots: 64, NumPivotIndex: 16, MinShared: 1, Seed: kindSeed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			na.Add(db[len(db)-2])
+			na.Add(db[len(db)-1])
+			if err := na.Delete(3); err != nil {
+				return nil, err
+			}
+			return na, nil
+		}},
+		{"omedrank", func() (index.Index[T], error) {
+			return core.NewOMEDRANK(sp, db, core.OMEDRANKOptions{NumVoters: 6, Seed: kindSeed})
+		}},
+		{"perm-vptree", func() (index.Index[T], error) {
+			return core.NewPermVPTree(sp, db, core.PermVPTreeOptions{NumPivots: 32, Seed: kindSeed})
+		}},
+		{"vptree", func() (index.Index[T], error) {
+			return vptree.New(sp, db, vptree.Options{BucketSize: 8, Seed: kindSeed})
+		}},
+		{"sw-graph", func() (index.Index[T], error) {
+			return knngraph.NewSW(sp, db, knngraph.Options{NN: 6, Workers: 1, Seed: kindSeed})
+		}},
+		{"nndescent-graph", func() (index.Index[T], error) {
+			return knngraph.NewNNDescent(sp, db, knngraph.Options{NN: 6, Workers: 1, Seed: kindSeed})
+		}},
+		{"seqscan", func() (index.Index[T], error) {
+			return seqscan.New(sp, db), nil
+		}},
+	}
+}
+
+// denseKinds is the full matrix over dense []float32 vectors under L2,
+// including the L2-only multi-probe LSH baseline.
+func denseKinds(sp space.Space[[]float32], db [][]float32) []kindCase[[]float32] {
+	kinds := genericKinds[[]float32](sp, db)
+	kinds = append(kinds, kindCase[[]float32]{"mplsh", func() (index.Index[[]float32], error) {
+		m, err := lsh.New(db, lsh.Options{Tables: 4, Hashes: 8, Seed: kindSeed})
+		if err != nil {
+			return nil, err
+		}
+		return index.Index[[]float32](m), nil
+	}})
+	return kinds
+}
+
+// denseCorpus returns the SIFT-like test corpus split into db and queries.
+func denseCorpus() (db, queries [][]float32) {
+	all := dataset.SIFT(kindSeed, dbSize+querySz)
+	return all[:dbSize], all[dbSize:]
+}
+
+// dnaCorpus returns a byte-string corpus under normalized Levenshtein.
+func dnaCorpus() (db, queries [][]byte) {
+	all := dataset.DNA(kindSeed, dbSize+querySz, dataset.DNAOptions{})
+	return all[:dbSize], all[dbSize:]
+}
+
+// histoCorpus returns a topic-histogram corpus for the asymmetric
+// KL-divergence.
+func histoCorpus() (db, queries []space.Histogram) {
+	all := dataset.WikiLDA(kindSeed, dbSize+querySz, 8)
+	return all[:dbSize], all[dbSize:]
+}

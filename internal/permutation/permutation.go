@@ -30,6 +30,12 @@ import (
 type Pivots[T any] struct {
 	space space.Space[T]
 	items []T
+	// ids records, when the pivots were drawn from a data set (Sample,
+	// FromIDs), the position of each pivot in that data set. Persistence
+	// (internal/codec) stores these ids instead of the objects, keeping
+	// the on-disk format object-type-agnostic. nil for explicit pivot
+	// sets (NewPivots), which therefore cannot be persisted.
+	ids []int32
 }
 
 // NewPivots wraps an explicit pivot list.
@@ -54,11 +60,37 @@ func Sample[T any](r *rand.Rand, sp space.Space[T], data []T, m int) (*Pivots[T]
 	}
 	idx := r.Perm(len(data))[:m]
 	items := make([]T, m)
+	ids := make([]int32, m)
 	for i, j := range idx {
 		items[i] = data[j]
+		ids[i] = int32(j)
 	}
-	return &Pivots[T]{space: sp, items: items}, nil
+	return &Pivots[T]{space: sp, items: items, ids: ids}, nil
 }
+
+// FromIDs reconstructs a pivot set from data-set positions, the inverse of
+// SourceIDs. Index loaders use it to rebuild sampled pivots without ever
+// serializing the pivot objects themselves.
+func FromIDs[T any](sp space.Space[T], data []T, ids []int32) (*Pivots[T], error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("permutation: empty pivot id set")
+	}
+	items := make([]T, len(ids))
+	cp := make([]int32, len(ids))
+	for i, id := range ids {
+		if id < 0 || int(id) >= len(data) {
+			return nil, fmt.Errorf("permutation: pivot id %d out of range [0, %d)", id, len(data))
+		}
+		items[i] = data[id]
+		cp[i] = id
+	}
+	return &Pivots[T]{space: sp, items: items, ids: cp}, nil
+}
+
+// SourceIDs returns the data-set position of each pivot when the set was
+// sampled from a data set, or nil for explicit pivot sets (shared, do not
+// mutate).
+func (p *Pivots[T]) SourceIDs() []int32 { return p.ids }
 
 // M returns the number of pivots.
 func (p *Pivots[T]) M() int { return len(p.items) }

@@ -1,0 +1,163 @@
+// Package persist is the kind registry of the index persistence subsystem:
+// it maps every concrete index type to its codec kind tag for saving, and
+// every kind tag read from a file header back to the loader that
+// reconstructs a ready index.Index. The byte format itself lives in
+// internal/codec; the per-kind payloads live in each index package.
+//
+// Loading always requires the space and data set the index was originally
+// built over — the format stores derived structure only, never the data
+// objects (see the codec package documentation for why). Save(Load(x)) and
+// Load(Save(x)) are both identity on search behavior; internal/indextest
+// asserts this for every kind.
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codec"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/knngraph"
+	"repro/internal/lsh"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/vptree"
+)
+
+// Kinds lists every index-kind tag the registry can save and load.
+func Kinds() []string { return codec.Kinds() }
+
+// Save serializes any index built by this repository to w in the codec
+// format. It returns codec.ErrNotPersistable for index types outside the
+// registry and for indexes built over explicit (non-sampled) pivot sets.
+func Save[T any](w io.Writer, idx index.Index[T]) error {
+	switch v := any(idx).(type) {
+	case *core.BruteForceFilter[T]:
+		return v.Save(w)
+	case *core.BinFilter[T]:
+		return v.Save(w)
+	case *core.DistVecFilter[T]:
+		return v.Save(w)
+	case *core.PPIndex[T]:
+		return v.Save(w)
+	case *core.MIFile[T]:
+		return v.Save(w)
+	case *core.NAPP[T]:
+		return v.Save(w)
+	case *core.OMEDRANK[T]:
+		return v.Save(w)
+	case *core.PermVPTree[T]:
+		return v.Save(w)
+	case *vptree.Tree[T]:
+		return v.Save(w)
+	case *knngraph.Graph[T]:
+		return v.Save(w)
+	case *seqscan.Scanner[T]:
+		return v.Save(w)
+	case *lsh.MPLSH:
+		return v.Save(w)
+	default:
+		return fmt.Errorf("%w: no kind registered for %T (%s)", codec.ErrNotPersistable, idx, idx.Name())
+	}
+}
+
+// Load reads one index from r and reconstructs it over sp and data, which
+// must be the space and data set the index was saved with (the header's
+// space name and data-set size are verified). The concrete type is selected
+// by the file's kind tag; the returned index is ready to Search.
+//
+// The "mplsh" kind applies only to dense vectors under L2, mirroring its
+// constructor: loading it under any other object type T fails.
+func Load[T any](r io.Reader, sp space.Space[T], data []T) (index.Index[T], error) {
+	cr, err := codec.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	switch kind := cr.Header().Kind; kind {
+	case codec.KindBruteForce:
+		return core.LoadBruteForceFilter(cr, sp, data)
+	case codec.KindBinFilter:
+		return core.LoadBinFilter(cr, sp, data)
+	case codec.KindDistVec:
+		return core.LoadDistVecFilter(cr, sp, data)
+	case codec.KindPPIndex:
+		return core.LoadPPIndex(cr, sp, data)
+	case codec.KindMIFile:
+		return core.LoadMIFile(cr, sp, data)
+	case codec.KindNAPP:
+		return core.LoadNAPP(cr, sp, data)
+	case codec.KindOMEDRANK:
+		return core.LoadOMEDRANK(cr, sp, data)
+	case codec.KindPermVPTree:
+		return core.LoadPermVPTree(cr, sp, data)
+	case codec.KindVPTree:
+		return vptree.Load(cr, sp, data)
+	case codec.KindSWGraph, codec.KindNNDescent:
+		return knngraph.Load(cr, kind, sp, data)
+	case codec.KindSeqScan:
+		return seqscan.Load(cr, sp, data)
+	case codec.KindMPLSH:
+		vecs, ok := any(data).([][]float32)
+		if !ok {
+			return nil, fmt.Errorf("codec: %q index requires dense []float32 vectors, data is %T", kind, data)
+		}
+		// lsh.Load validates the header against its hardcoded "l2" tag;
+		// the caller's space must agree too, or Search would silently
+		// report L2 distances under a different metric.
+		if sp.Name() != cr.Header().Space {
+			return nil, fmt.Errorf("codec: index was built under space %q, loader supplies %q", cr.Header().Space, sp.Name())
+		}
+		m, err := lsh.Load(cr, vecs)
+		if err != nil {
+			return nil, err
+		}
+		return any(m).(index.Index[T]), nil
+	default:
+		return nil, fmt.Errorf("codec: unknown index kind %q", kind)
+	}
+}
+
+// SaveFile writes idx to path atomically: the blob is serialized and
+// fsynced to a temporary file in the same directory, then renamed over the
+// destination, so neither a crash nor a failed Save can leave a truncated
+// or torn file where a good one used to be.
+func SaveFile[T any](path string, idx index.Index[T]) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := Save(f, idx); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Chmod(f.Name(), 0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return cleanup(err)
+	}
+	return nil
+}
+
+// LoadFile reads one index from the file at path.
+func LoadFile[T any](path string, sp space.Space[T], data []T) (index.Index[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, sp, data)
+}

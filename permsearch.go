@@ -35,6 +35,21 @@
 // wall-clock time. The evaluation tools expose the same engine through
 // their -workers flag (e.g. cmd/annbench).
 //
+// # Persistence
+//
+// Every index can be saved to a versioned, checksummed binary file and
+// loaded back ready to search, skipping construction (and all of its
+// distance computations) entirely:
+//
+//	err := permsearch.SaveIndex(f, idx)
+//	idx, err := permsearch.LoadIndex(f, permsearch.L2{}, data) // same space + data
+//
+// The format stores derived structure only — pivot ids, posting lists, tree
+// nodes — never the data objects, so loading requires the same data slice
+// the index was built over (verified via the header). A loaded index
+// answers every query identically to the saved one. See internal/codec for
+// the format and versioning policy.
+//
 // # Spaces
 //
 // A Space[T] is any (possibly non-metric) dissimilarity; implementations
@@ -46,12 +61,15 @@
 package permsearch
 
 import (
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/knngraph"
 	"repro/internal/lsh"
 	"repro/internal/permutation"
+	"repro/internal/persist"
 	"repro/internal/seqscan"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -118,6 +136,36 @@ func SearchBatch[T any](idx Index[T], queries []T, k int) [][]Neighbor {
 func SearchBatchWorkers[T any](idx Index[T], queries []T, k, workers int) [][]Neighbor {
 	return engine.SearchBatchPool(engine.NewPool(workers), idx, queries, k)
 }
+
+// SaveIndex serializes any index built by this package to w in the
+// versioned, checksummed binary format of internal/codec. Indexes built
+// over explicit (caller-supplied, non-sampled) pivot sets cannot be
+// persisted and return an error.
+func SaveIndex[T any](w io.Writer, idx Index[T]) error {
+	return persist.Save(w, idx)
+}
+
+// LoadIndex reads one index from r and reconstructs it over sp and data,
+// which must be the space and data set the index was saved with. The
+// concrete index type is selected by the file's kind tag (see IndexKinds);
+// the result is ready to Search.
+func LoadIndex[T any](r io.Reader, sp Space[T], data []T) (Index[T], error) {
+	return persist.Load(r, sp, data)
+}
+
+// SaveIndexFile is SaveIndex to a file path (created or truncated, fsynced).
+func SaveIndexFile[T any](path string, idx Index[T]) error {
+	return persist.SaveFile(path, idx)
+}
+
+// LoadIndexFile is LoadIndex from a file path.
+func LoadIndexFile[T any](path string, sp Space[T], data []T) (Index[T], error) {
+	return persist.LoadFile(path, sp, data)
+}
+
+// IndexKinds lists the kind tags of every persistable index family, in the
+// order of the internal registry.
+func IndexKinds() []string { return persist.Kinds() }
 
 // NewSparseVector validates and sorts a sparse vector.
 func NewSparseVector(idx []int32, val []float32) (SparseVector, error) {

@@ -2,6 +2,7 @@ package permsearch_test
 
 import (
 	"math/rand"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -125,5 +126,46 @@ func TestFacadeSearchBatch(t *testing.T) {
 	}
 	if n := permsearch.NewPool(3).Workers(); n != 3 {
 		t.Fatalf("NewPool(3).Workers() = %d", n)
+	}
+}
+
+// TestFacadeSaveLoadIndex exercises the persistence API the way the README
+// shows it: save to a file, load back over the same space and data, get
+// identical answers without rebuilding.
+func TestFacadeSaveLoadIndex(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data := make([][]float32, 300)
+	for i := range data {
+		v := make([]float32, 8)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	idx, err := permsearch.NewNAPP[[]float32](permsearch.L2{}, data, permsearch.NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, MinShared: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "napp.psix")
+	if err := permsearch.SaveIndexFile[[]float32](path, idx); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := permsearch.LoadIndexFile(path, permsearch.L2{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][]float32{data[3], data[250]} {
+		if got, want := loaded.Search(q, 10), idx.Search(q, 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("loaded index answers differ: got %v, want %v", got, want)
+		}
+	}
+	if kinds := permsearch.IndexKinds(); len(kinds) == 0 {
+		t.Fatal("IndexKinds() is empty")
+	}
+	// Loading under the wrong space must fail loudly, not search wrongly.
+	if _, err := permsearch.LoadIndexFile(path, permsearch.L1{}, data); err == nil {
+		t.Fatal("LoadIndexFile accepted an L2-built index under L1")
 	}
 }
