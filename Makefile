@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt check fuzz ci
+.PHONY: build test race bench vet fmt check fuzz serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -25,11 +25,12 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Race-check the concurrency-heavy packages: the batch query engine, the
-# SW/NN-descent graph construction goroutines, and the cross-index
-# conformance suite (whose concurrent-Search property puts every index kind
-# under simultaneous queries).
+# SW/NN-descent graph construction goroutines, the cross-index conformance
+# suite (whose concurrent-Search property puts every index kind under
+# simultaneous queries), and the serving layer (concurrent clients +
+# hot-reload hammering).
 race:
-	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/...
+	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/server/...
 
 # Short coverage-guided fuzz of the index-file decoder: corrupt blobs must
 # error, never panic or over-allocate. The checked-in seed corpus lives in
@@ -43,4 +44,11 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSearchBatch -benchmem ./internal/engine/
 
-ci: check build test race fuzz
+# End-to-end smoke of the serving daemon: build permserve, write a demo
+# index set, boot it on a free port, curl /healthz + a search + a hot
+# reload, and require a graceful SIGTERM shutdown.
+serve-smoke:
+	$(GO) build -o bin/permserve ./cmd/permserve
+	./scripts/serve_smoke.sh bin/permserve
+
+ci: check build test race fuzz serve-smoke

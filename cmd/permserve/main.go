@@ -1,0 +1,157 @@
+// Command permserve is the serving daemon: it warm-starts a named set of
+// saved indexes from a directory (one .psix file + one .json sidecar
+// manifest per index, see internal/server.Manifest) and answers k-NN
+// queries over HTTP.
+//
+// Usage:
+//
+//	permserve -write-demo -dir demo/        # build a small demo index set
+//	permserve -dir demo/ -addr :8080        # serve it
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/indexes
+//	curl localhost:8080/statusz
+//	curl -d '{"query": "ACGTACGTAC", "k": 3}' localhost:8080/v1/indexes/dna-vptree/search
+//	curl -d '{"queries": ["ACGT", "TTTT"], "k": 3}' localhost:8080/v1/indexes/dna-vptree/search
+//	curl -XPOST localhost:8080/v1/indexes/dna-vptree/reload
+//
+// -addr supports port 0; the actually bound address is logged, which the
+// smoke test uses to serve on a free port. SIGINT/SIGTERM shut down
+// gracefully: in-flight requests finish, new connections are refused.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/persist"
+	"repro/internal/seqscan"
+	"repro/internal/server"
+	"repro/internal/space"
+	"repro/internal/vptree"
+)
+
+func main() {
+	dir := flag.String("dir", "", "index set directory: <name>.psix + <name>.json per index (required)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the bound address is logged)")
+	workers := flag.Int("workers", 0, "goroutines per batch request (<= 0: GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution budget (0: none)")
+	writeDemo := flag.Bool("write-demo", false, "write a small demo index set into -dir and exit")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "permserve: -dir is required (try: permserve -write-demo -dir demo/)")
+		os.Exit(2)
+	}
+	if *writeDemo {
+		if err := writeDemoSet(*dir); err != nil {
+			log.Fatalf("permserve: writing demo set: %v", err)
+		}
+		return
+	}
+
+	reg, err := server.OpenDir(*dir)
+	if err != nil {
+		log.Fatalf("permserve: %v", err)
+	}
+	for _, name := range reg.Names() {
+		log.Printf("permserve: serving index %q", name)
+	}
+	srv := server.New(reg, server.Options{Workers: *workers, Timeout: *timeout})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("permserve: %v", err)
+	}
+	log.Printf("permserve: listening on http://%s (%d indexes)", ln.Addr(), len(reg.Names()))
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("permserve: shutting down (in-flight requests get 10s to finish)")
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			log.Fatalf("permserve: shutdown: %v", err)
+		}
+		log.Printf("permserve: bye")
+	case err := <-errCh:
+		log.Fatalf("permserve: %v", err)
+	}
+}
+
+// writeDemoSet builds a small, quick-to-construct index set so the serving
+// path can be tried (and smoke-tested) without running any benchmark first:
+// two permutation indexes and an exact baseline over a SIFT-like corpus,
+// plus a VP-tree over DNA strings under normalized edit distance.
+func writeDemoSet(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	const (
+		seed   = 42
+		nDense = 1500
+		nDNA   = 800
+	)
+	sift := dataset.SIFT(seed, nDense)
+	dna := dataset.DNA(seed, nDNA, dataset.DNAOptions{})
+
+	if err := writeDemoIndex(dir, "sift-napp", server.Manifest{Dataset: "sift", Seed: seed, N: nDense},
+		func() (index.Index[[]float32], error) {
+			return core.NewNAPP[[]float32](space.L2{}, sift, core.NAPPOptions{
+				NumPivots: 128, NumPivotIndex: 16, MinShared: 1, Seed: seed,
+			})
+		}); err != nil {
+		return err
+	}
+	if err := writeDemoIndex(dir, "sift-seqscan", server.Manifest{Dataset: "sift", Seed: seed, N: nDense},
+		func() (index.Index[[]float32], error) {
+			return seqscan.New[[]float32](space.L2{}, sift), nil
+		}); err != nil {
+		return err
+	}
+	return writeDemoIndex(dir, "dna-vptree", server.Manifest{Dataset: "dna", Seed: seed, N: nDNA},
+		func() (index.Index[[]byte], error) {
+			return vptree.New[[]byte](space.NormalizedLevenshtein{}, dna, vptree.Options{Seed: seed})
+		})
+}
+
+// writeDemoIndex builds one index and writes its file + sidecar manifest.
+func writeDemoIndex[T any](dir, name string, man server.Manifest, build func() (index.Index[T], error)) error {
+	idx, err := build()
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	path := filepath.Join(dir, name+persist.Ext)
+	if err := persist.SaveFile(path, idx); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	blob, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".json"), append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("permserve: wrote %s (%s over %s, n=%d)", path, idx.Name(), man.Dataset, man.N)
+	return nil
+}

@@ -99,6 +99,9 @@ func (f *BruteForceFilter[T]) SetGamma(gamma float64) {
 	}
 }
 
+// Gamma returns the current candidate fraction.
+func (f *BruteForceFilter[T]) Gamma() float64 { return f.opts.Gamma }
+
 // RankAll returns every data point ranked by permutation distance from the
 // query, nearest first. It is the raw filtering stage, exposed for the
 // Figure 3 experiments (recall vs. fraction of candidates scanned).
@@ -224,6 +227,9 @@ func (f *BinFilter[T]) SetGamma(gamma float64) {
 		f.opts.Gamma = gamma
 	}
 }
+
+// Gamma returns the current candidate fraction.
+func (f *BinFilter[T]) Gamma() float64 { return f.opts.Gamma }
 
 // Stats implements index.Sized.
 func (f *BinFilter[T]) Stats() index.Stats {

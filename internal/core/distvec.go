@@ -71,6 +71,9 @@ func (f *DistVecFilter[T]) SetGamma(gamma float64) {
 	}
 }
 
+// Gamma returns the current candidate fraction.
+func (f *DistVecFilter[T]) Gamma() float64 { return f.opts.Gamma }
+
 // Search implements index.Index.
 func (f *DistVecFilter[T]) Search(query T, k int) []topk.Neighbor {
 	if k <= 0 {

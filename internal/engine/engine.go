@@ -23,6 +23,39 @@ import (
 	"repro/internal/topk"
 )
 
+// panicTrap collects the first panic raised by any worker goroutine of one
+// parallel loop. A panic inside a bare goroutine would kill the whole
+// process (and, were it swallowed, would leave wg.Wait deadlocked on a
+// worker that never finishes its range); instead every worker recovers into
+// the trap, the trap's stop flag cancels the remaining iterations of all
+// workers, and the caller re-panics with the original value after wg.Wait —
+// so a panicking f behaves exactly as it would in the serial loop: the
+// caller sees the panic, the process does not die from a goroutine, and no
+// goroutines are left behind. The serving layer relies on this to turn a
+// panicking Search into an HTTP 500 instead of a crashed daemon.
+type panicTrap struct {
+	stop  atomic.Bool
+	once  sync.Once
+	value any
+}
+
+// guard is deferred by every worker; it records the panic (first wins) and
+// stops the loop.
+func (t *panicTrap) guard() {
+	if r := recover(); r != nil {
+		t.once.Do(func() { t.value = r })
+		t.stop.Store(true)
+	}
+}
+
+// rethrow re-raises the recorded panic on the calling goroutine, if any.
+// Safe to read t.value without the Once: wg.Wait orders it before the read.
+func (t *panicTrap) rethrow() {
+	if t.value != nil {
+		panic(t.value)
+	}
+}
+
 // Pool bounds the number of goroutines a parallel loop may use. The zero
 // value is a valid pool running at GOMAXPROCS. Pools are values, not
 // resources: they hold no goroutines between calls and are safe to copy and
@@ -62,6 +95,9 @@ func (p Pool) clamp(n int) int {
 // overhead and the best cache locality, which suits uniform-cost work such
 // as computing one permutation per data point; use ForDynamic when per-item
 // cost is skewed.
+//
+// If f panics, the remaining iterations are cancelled and the panic
+// resurfaces on the caller, as it would in a serial loop.
 func (p Pool) For(n int, f func(i int)) {
 	w := p.clamp(n)
 	if w <= 1 {
@@ -70,6 +106,7 @@ func (p Pool) For(n int, f func(i int)) {
 		}
 		return
 	}
+	var trap panicTrap
 	var wg sync.WaitGroup
 	chunk := (n + w - 1) / w
 	for lo := 0; lo < n; lo += chunk {
@@ -80,12 +117,17 @@ func (p Pool) For(n int, f func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer trap.guard()
 			for i := lo; i < hi; i++ {
+				if trap.stop.Load() {
+					return
+				}
 				f(i)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // ForDynamic runs f(i) for every i in [0, n), workers pulling one item at a
@@ -99,6 +141,9 @@ func (p Pool) ForDynamic(n int, f func(i int)) {
 // ForWithID is ForDynamic passing each invocation the pulling worker's id in
 // [0, Workers()), so callers can keep per-worker state (RNGs, scratch
 // buffers) without locking.
+//
+// If f panics, the remaining iterations are cancelled and the panic
+// resurfaces on the caller, as it would in a serial loop.
 func (p Pool) ForWithID(n int, f func(worker, i int)) {
 	w := p.clamp(n)
 	if w <= 1 {
@@ -107,15 +152,17 @@ func (p Pool) ForWithID(n int, f func(worker, i int)) {
 		}
 		return
 	}
+	var trap panicTrap
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for t := 0; t < w; t++ {
 		go func(worker int) {
 			defer wg.Done()
+			defer trap.guard()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n {
+				if i >= n || trap.stop.Load() {
 					return
 				}
 				f(worker, i)
@@ -123,6 +170,7 @@ func (p Pool) ForWithID(n int, f func(worker, i int)) {
 		}(t)
 	}
 	wg.Wait()
+	trap.rethrow()
 }
 
 // SearchBatch answers a batch of queries against idx on a default
@@ -141,6 +189,9 @@ func SearchBatch[T any](idx index.Index[T], queries []T, k int) [][]topk.Neighbo
 // consumes shared mutable state (the proximity graph's entry-point counter)
 // implement index.Batcher to pin each query to the seed its serial-loop
 // position would have drawn.
+//
+// A Search that panics cancels the rest of the batch and re-panics on the
+// caller (see Pool.For), exactly as a serial loop would fail.
 func SearchBatchPool[T any](p Pool, idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
 	if b, ok := idx.(index.Batcher[T]); ok {
 		return b.SearchBatch(queries, k, p.Workers())

@@ -76,6 +76,104 @@ func TestPoolForWithIDWorkerRange(t *testing.T) {
 	}
 }
 
+// mustPanic runs f, which is expected to panic with value want, and fails
+// the test if it returns normally or panics with anything else. A hang here
+// (the pre-fix failure mode: a dead worker deadlocking wg.Wait) is caught by
+// the test binary's own timeout.
+func mustPanic(t *testing.T, want any, f func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != want {
+			t.Fatalf("recovered %v, want panic %v", r, want)
+		}
+	}()
+	f()
+	t.Fatal("call returned normally, want panic")
+}
+
+func TestPoolForPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := engine.NewPool(workers)
+		mustPanic(t, "boom-for", func() {
+			p.For(100, func(i int) {
+				if i == 37 {
+					panic("boom-for")
+				}
+			})
+		})
+		mustPanic(t, "boom-dyn", func() {
+			p.ForDynamic(100, func(i int) {
+				if i == 37 {
+					panic("boom-dyn")
+				}
+			})
+		})
+		mustPanic(t, "boom-id", func() {
+			p.ForWithID(100, func(_, i int) {
+				if i == 37 {
+					panic("boom-id")
+				}
+			})
+		})
+	}
+}
+
+// TestPoolForPanicCancelsRemainingWork: once one iteration panics, workers
+// stop pulling new iterations instead of grinding through the rest of the
+// range. The panicking iteration is the very first one pulled, so at most
+// one in-flight iteration per other worker may still run — far fewer than n.
+func TestPoolForPanicCancelsRemainingWork(t *testing.T) {
+	const n = 100000
+	var ran atomic.Int32
+	mustPanic(t, "early", func() {
+		engine.NewPool(4).ForDynamic(n, func(i int) {
+			if ran.Add(1) == 1 {
+				panic("early")
+			}
+		})
+	})
+	if got := ran.Load(); got == n {
+		t.Fatalf("all %d iterations ran despite the first panicking", n)
+	}
+}
+
+// TestPoolForPanicPoolReusable: a pool that has trapped a panic is a plain
+// value and must keep working for subsequent loops.
+func TestPoolForPanicPoolReusable(t *testing.T) {
+	p := engine.NewPool(3)
+	mustPanic(t, "once", func() { p.For(10, func(i int) { panic("once") }) })
+	var hits atomic.Int32
+	p.For(50, func(i int) { hits.Add(1) })
+	if hits.Load() != 50 {
+		t.Fatalf("loop after panic ran %d/50 iterations", hits.Load())
+	}
+}
+
+// panickyIndex explodes on its n-th Search call, standing in for a bug in
+// any real index's Search.
+type panickyIndex struct {
+	inner index.Index[[]float32]
+	calls atomic.Int32
+	bad   int32 // which call (1-based) panics
+}
+
+func (p *panickyIndex) Search(q []float32, k int) []topk.Neighbor {
+	if p.calls.Add(1) == p.bad {
+		panic("search exploded")
+	}
+	return p.inner.Search(q, k)
+}
+
+func (p *panickyIndex) Name() string { return "panicky" }
+
+func TestSearchBatchPropagatesSearchPanic(t *testing.T) {
+	db, queries := batchData(t, 50, 20)
+	idx := &panickyIndex{inner: seqscan.New[[]float32](space.L2{}, db), bad: 13}
+	mustPanic(t, "search exploded", func() {
+		engine.SearchBatchPool(engine.NewPool(4), index.Index[[]float32](idx), queries, 3)
+	})
+}
+
 // serialLoop is the reference semantics SearchBatch must reproduce.
 func serialLoop[T any](idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
 	out := make([][]topk.Neighbor, len(queries))

@@ -35,7 +35,22 @@ func indexFileName(cfg Config, dataset, method string, fold int) string {
 // variant is one query-time parameter setting of a built index.
 type variant[T any] struct {
 	label string
-	apply func(idx index.Index[T])
+	apply func(idx index.Index[T]) error
+}
+
+// paramVariant is a variant whose label is a ParseParams-syntax string
+// ("gamma=0.05", "att=2,ef=20") applied through the shared ApplyParams
+// path — the same code the serving daemon runs for per-request params, so
+// the sweeps keep it covered.
+func paramVariant[T any](label string) variant[T] {
+	return variant[T]{label: label, apply: func(idx index.Index[T]) error {
+		p, err := ParseParams(label)
+		if err != nil {
+			return err
+		}
+		_, err = ApplyParams(idx, p)
+		return err
+	}}
 }
 
 // sweep is one method of a Figure 4 panel: a single build plus a list of
@@ -414,7 +429,9 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 				}
 			}
 			for _, v := range s.variants {
-				v.apply(idx)
+				if err := v.apply(idx); err != nil {
+					return fmt.Errorf("%s/%s %s: %w", c.name, s.method, v.label, err)
+				}
 				var res eval.Result
 				if cfg.Workers == 0 || cfg.Workers == 1 {
 					res = eval.Measure(idx, queries, truth, cfg.K, bruteTime, nil)

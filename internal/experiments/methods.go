@@ -11,6 +11,10 @@ import (
 	"repro/internal/vptree"
 )
 
+// Every sweep's variants are paramVariant labels: the label printed in the
+// Figure 4 output is literally the ParseParams string that reproduces the
+// setting, via annbench or a serving request.
+
 // vptreeSweep builds one VP-tree and traces its curve by varying the
 // pruning stretch alpha (exact metric pruning at alpha = 1; larger = faster
 // and less accurate). beta is the polynomial pruner exponent (2 for KL).
@@ -23,13 +27,7 @@ func vptreeSweep[T any](alphas []float64, beta float64, seed int64) sweep[T] {
 		},
 	}
 	for _, a := range alphas {
-		alpha := a
-		s.variants = append(s.variants, variant[T]{
-			label: fmt.Sprintf("alpha=%g", alpha),
-			apply: func(idx index.Index[T]) {
-				idx.(*vptree.Tree[T]).SetAlpha(alpha, alpha)
-			},
-		})
+		s.variants = append(s.variants, paramVariant[T](fmt.Sprintf("alpha=%g", a)))
 	}
 	return s
 }
@@ -42,13 +40,7 @@ func graphVariants[T any](k int) []variant[T] {
 	}
 	var out []variant[T]
 	for _, c := range []cfg{{1, k}, {2, 2 * k}, {4, 4 * k}, {8, 8 * k}} {
-		c := c
-		out = append(out, variant[T]{
-			label: fmt.Sprintf("att=%d,ef=%d", c.att, c.ef),
-			apply: func(idx index.Index[T]) {
-				idx.(*knngraph.Graph[T]).SetSearchParams(c.att, c.ef)
-			},
-		})
+		out = append(out, paramVariant[T](fmt.Sprintf("att=%d,ef=%d", c.att, c.ef)))
 	}
 	return out
 }
@@ -98,15 +90,18 @@ func nappSweep[T any](n int, seed int64) sweep[T] {
 		},
 	}
 	for _, t := range []int{4, 3, 2, 1} {
-		t := t
-		s.variants = append(s.variants, variant[T]{
-			label: fmt.Sprintf("t=%d", t),
-			apply: func(idx index.Index[T]) {
-				idx.(*core.NAPP[T]).SetMinShared(t)
-			},
-		})
+		s.variants = append(s.variants, paramVariant[T](fmt.Sprintf("t=%d", t)))
 	}
 	return s
+}
+
+// gammaVariants trace a filter's curve by the candidate fraction gamma.
+func gammaVariants[T any]() []variant[T] {
+	var out []variant[T]
+	for _, g := range []float64{0.002, 0.01, 0.05, 0.2} {
+		out = append(out, paramVariant[T](fmt.Sprintf("gamma=%g", g)))
+	}
+	return out
 }
 
 // bfSweep traces the brute-force permutation filter's curve by varying the
@@ -116,7 +111,7 @@ func bfSweep[T any](n int, seed int64) sweep[T] {
 	if m > n {
 		m = n
 	}
-	s := sweep[T]{
+	return sweep[T]{
 		method: "brute-force-filt",
 		table2: true,
 		build: func(sp space.Space[T], db []T) (index.Index[T], error) {
@@ -124,17 +119,8 @@ func bfSweep[T any](n int, seed int64) sweep[T] {
 				NumPivots: m, Seed: seed,
 			})
 		},
+		variants: gammaVariants[T](),
 	}
-	for _, g := range []float64{0.002, 0.01, 0.05, 0.2} {
-		g := g
-		s.variants = append(s.variants, variant[T]{
-			label: fmt.Sprintf("gamma=%g", g),
-			apply: func(idx index.Index[T]) {
-				idx.(*core.BruteForceFilter[T]).SetGamma(g)
-			},
-		})
-	}
-	return s
 }
 
 // binSweep is brute-force filtering over binarized permutations (twice the
@@ -144,7 +130,7 @@ func binSweep[T any](n int, seed int64) sweep[T] {
 	if m > n {
 		m = n
 	}
-	s := sweep[T]{
+	return sweep[T]{
 		method: "brute-force-filt-bin",
 		table2: false,
 		build: func(sp space.Space[T], db []T) (index.Index[T], error) {
@@ -152,17 +138,8 @@ func binSweep[T any](n int, seed int64) sweep[T] {
 				NumPivots: m, Seed: seed,
 			})
 		},
+		variants: gammaVariants[T](),
 	}
-	for _, g := range []float64{0.002, 0.01, 0.05, 0.2} {
-		g := g
-		s.variants = append(s.variants, variant[T]{
-			label: fmt.Sprintf("gamma=%g", g),
-			apply: func(idx index.Index[T]) {
-				idx.(*core.BinFilter[T]).SetGamma(g)
-			},
-		})
-	}
-	return s
 }
 
 // mplshSweep is multi-probe LSH; L2 over dense vectors only, as in the
@@ -176,13 +153,7 @@ func mplshSweep(seed int64) sweep[[]float32] {
 		},
 	}
 	for _, t := range []int{2, 10, 30, 80} {
-		t := t
-		s.variants = append(s.variants, variant[[]float32]{
-			label: fmt.Sprintf("T=%d", t),
-			apply: func(idx index.Index[[]float32]) {
-				idx.(*lsh.MPLSH).SetProbes(t)
-			},
-		})
+		s.variants = append(s.variants, paramVariant[[]float32](fmt.Sprintf("T=%d", t)))
 	}
 	return s
 }

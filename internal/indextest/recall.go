@@ -1,0 +1,26 @@
+package indextest
+
+import (
+	"repro/internal/eval"
+	"repro/internal/space"
+)
+
+// RecallAtK builds a fresh index with build and returns its mean recall@k
+// over queries, against exact ground truth computed by sequential scan.
+// With a deterministic builder (fixed seeds, single-threaded construction —
+// the same discipline Conformance requires) the value is exactly
+// reproducible, which is what the golden recall-regression tests rely on:
+// a perf refactor that silently degrades result quality moves this number,
+// even when every structural contract still holds.
+func RecallAtK[T any](sp space.Space[T], db, queries []T, k int, build Builder[T]) (float64, error) {
+	idx, err := build()
+	if err != nil {
+		return 0, err
+	}
+	truth := eval.GroundTruth(sp, db, queries, k)
+	answers := truth[:0:0]
+	for _, q := range queries {
+		answers = append(answers, idx.Search(q, k))
+	}
+	return eval.Recall(truth, answers), nil
+}

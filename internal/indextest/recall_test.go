@@ -1,0 +1,111 @@
+package indextest
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/space"
+)
+
+var updateRecall = flag.Bool("update-recall", false,
+	"rewrite testdata/recall_golden.json with the measured recall values")
+
+// recallGoldenPath holds the checked-in recall@10 per index kind over the
+// deterministic synthetic L2 corpus.
+const recallGoldenPath = "testdata/recall_golden.json"
+
+// recallTolerance is the band around each golden value. The measurement is
+// exactly deterministic today; the band exists so a legitimate change to
+// floating-point summation order or tie handling does not demand a golden
+// update, while a real quality regression (recall drops by points, not
+// ulps) still fails.
+const recallTolerance = 0.05
+
+// TestRecallRegressionGolden measures recall@10 for every index kind over
+// the synthetic L2 corpus and compares against the checked-in goldens, so
+// future perf refactors cannot silently degrade result quality. Run
+//
+//	go test ./internal/indextest -run RecallRegression -update-recall
+//
+// after an intentional quality change to refresh the file (and eyeball the
+// diff: every moved value is a behavior change you are signing off on).
+func TestRecallRegressionGolden(t *testing.T) {
+	db, queries := denseCorpus()
+	sp := space.L2{}
+	got := map[string]float64{}
+	for _, kc := range denseKinds(sp, db) {
+		r, err := RecallAtK[[]float32](sp, db, queries, 10, kc.build)
+		if err != nil {
+			t.Fatalf("%s: %v", kc.kind, err)
+		}
+		got[kc.kind] = r
+	}
+
+	if *updateRecall {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(recallGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(recallGoldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %v", recallGoldenPath, got)
+		return
+	}
+
+	blob, err := os.ReadFile(recallGoldenPath)
+	if err != nil {
+		t.Fatalf("reading goldens (regenerate with -update-recall): %v", err)
+	}
+	golden := map[string]float64{}
+	if err := json.Unmarshal(blob, &golden); err != nil {
+		t.Fatal(err)
+	}
+	for kind, want := range golden {
+		if _, ok := got[kind]; !ok {
+			t.Errorf("golden kind %q no longer measured (stale %s?)", kind, recallGoldenPath)
+		}
+		_ = want
+	}
+	for kind, r := range got {
+		want, ok := golden[kind]
+		if !ok {
+			t.Errorf("kind %q has no golden recall; add it with -update-recall", kind)
+			continue
+		}
+		if math.Abs(r-want) > recallTolerance {
+			verb := "degraded"
+			if r > want {
+				verb = "improved"
+			}
+			t.Errorf("%s: recall@10 %s: measured %.4f, golden %.4f (±%.2f); if intentional, refresh with -update-recall",
+				kind, verb, r, want, recallTolerance)
+		}
+	}
+}
+
+// TestRecallHarnessExactOnExactIndexes sanity-checks the harness itself:
+// exact methods must score recall 1 on their own corpus.
+func TestRecallHarnessExactOnExactIndexes(t *testing.T) {
+	db, queries := denseCorpus()
+	sp := space.L2{}
+	for _, kc := range denseKinds(sp, db) {
+		if kc.kind != "seqscan" && kc.kind != "vptree" {
+			continue
+		}
+		r, err := RecallAtK[[]float32](sp, db, queries, 10, kc.build)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 1 {
+			t.Errorf("%s: exact method scored recall %.4f", kc.kind, r)
+		}
+	}
+}

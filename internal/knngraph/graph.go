@@ -125,6 +125,11 @@ func (g *Graph[T]) SetSearchParams(initAttempts, efSearch int) {
 	}
 }
 
+// SearchParams returns the current query-time knobs.
+func (g *Graph[T]) SearchParams() (initAttempts, efSearch int) {
+	return g.opts.InitAttempts, g.opts.EfSearch
+}
+
 // Search implements index.Index using multi-restart best-first traversal:
 // every restart starts from a random entry point, maintains a frontier of
 // unexpanded candidates and a bounded result set of size ef, and stops when

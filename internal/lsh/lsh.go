@@ -184,6 +184,9 @@ func (x *MPLSH) SetProbes(t int) {
 	}
 }
 
+// Probes returns the current probe count T.
+func (x *MPLSH) Probes() int { return x.opts.Probes }
+
 // Stats implements index.Sized.
 func (x *MPLSH) Stats() index.Stats {
 	var bytes int64

@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/core"
@@ -160,4 +162,60 @@ func LoadFile[T any](path string, sp space.Space[T], data []T) (index.Index[T], 
 	}
 	defer f.Close()
 	return Load(f, sp, data)
+}
+
+// Ext is the conventional file extension of a persisted index.
+const Ext = ".psix"
+
+// PeekHeader reads and validates the file at path just far enough to return
+// its header — kind, space name, format version and data-set size — without
+// reconstructing the index. Callers that serve a directory of heterogeneous
+// indexes use it to decide which space and data set to load each file over
+// before paying for the load itself. (The whole blob is still read once to
+// verify the checksum; an index file is small next to its data set.)
+func PeekHeader(path string) (codec.Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return codec.Header{}, err
+	}
+	defer f.Close()
+	cr, err := codec.NewReader(f)
+	if err != nil {
+		return codec.Header{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return cr.Header(), nil
+}
+
+// LoadIndexSet opens every index file (*.psix) in dir over one shared
+// (space, data) pair and returns the ready indexes keyed by file name
+// without the extension. This is the warm-start path for a process serving
+// several index structures — say, a NAPP and an SW-graph with different
+// speed/recall trade-offs — over the same corpus: build and SaveFile each
+// once, then any number of processes can LoadIndexSet the directory.
+//
+// Every file must load cleanly and match sp and data (the per-kind loaders
+// verify the header's space name and data-set size); the first failure
+// aborts the whole set, so a directory can never be half-served. A dir with
+// no index files yields an empty, non-nil map.
+func LoadIndexSet[T any](dir string, sp space.Space[T], data []T) (map[string]index.Index[T], error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), Ext) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make(map[string]index.Index[T], len(names))
+	for _, name := range names {
+		idx, err := LoadFile(filepath.Join(dir, name), sp, data)
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", filepath.Join(dir, name), err)
+		}
+		out[strings.TrimSuffix(name, Ext)] = idx
+	}
+	return out, nil
 }

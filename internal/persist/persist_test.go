@@ -1,0 +1,91 @@
+package persist_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/persist"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+)
+
+// TestLoadIndexSet saves two different index kinds over one corpus and
+// warm-starts both from the directory, checking names and identical answers.
+func TestLoadIndexSet(t *testing.T) {
+	db := dataset.SIFT(9, 200)
+	sp := space.L2{}
+	na, err := core.NewNAPP[[]float32](sp, db, core.NAPPOptions{
+		NumPivots: 32, NumPivotIndex: 8, MinShared: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := seqscan.New[[]float32](sp, db)
+
+	dir := t.TempDir()
+	if err := persist.SaveFile(filepath.Join(dir, "fast.psix"), na); err != nil {
+		t.Fatal(err)
+	}
+	if err := persist.SaveFile(filepath.Join(dir, "exact.psix"), scan); err != nil {
+		t.Fatal(err)
+	}
+	// Non-index files in the directory are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := persist.LoadIndexSet(dir, sp, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set["fast"] == nil || set["exact"] == nil {
+		t.Fatalf("loaded set keys: %v", keys(set))
+	}
+	for i := 0; i < 5; i++ {
+		if got, want := set["fast"].Search(db[i], 10), na.Search(db[i], 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: loaded napp differs from original", i)
+		}
+		if got, want := set["exact"].Search(db[i], 10), scan.Search(db[i], 10); !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: loaded seqscan differs from original", i)
+		}
+	}
+
+	// A corrupt file in the directory fails the whole set.
+	if err := os.WriteFile(filepath.Join(dir, "bad.psix"), []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.LoadIndexSet(dir, sp, db); err == nil {
+		t.Fatal("corrupt member accepted")
+	}
+}
+
+func TestPeekHeader(t *testing.T) {
+	db := dataset.SIFT(9, 120)
+	scan := seqscan.New[[]float32](space.L2{}, db)
+	path := filepath.Join(t.TempDir(), "scan.psix")
+	if err := persist.SaveFile(path, scan); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := persist.PeekHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Kind != "seqscan" || hdr.Space != "l2" || hdr.N != 120 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if _, err := persist.PeekHeader(filepath.Join(t.TempDir(), "missing.psix")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/codec"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/index"
+	"repro/internal/persist"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// Manifest is the sidecar JSON (<name>.json next to <name>.psix) that tells
+// the server how to materialize the corpus an index file was built over.
+// The codec format deliberately persists derived structure only, never the
+// data objects, so the data must be regenerated — deterministically, from
+// the named synthetic generator, its seed and its size. The space itself
+// needs no manifest entry: every distance in this repository is a
+// parameterless value reconstructable from the file header's space tag.
+type Manifest struct {
+	// Dataset names the generator: "sift", "cophir", "dna", "wiki-sparse",
+	// "imagenet", or "wiki-<topics>" (e.g. "wiki-8") for LDA histograms.
+	Dataset string `json:"dataset"`
+	// Seed and N parameterize the generator: the corpus is gen(Seed, N).
+	// N must equal the data-set size recorded in the index file header,
+	// or loading fails — a mismatched manifest can never serve an index
+	// whose ids point at the wrong objects.
+	Seed int64 `json:"seed"`
+	N    int   `json:"n"`
+	// Params are query-time method params applied once after loading
+	// (experiments.ParseParams keys, e.g. {"gamma": 0.05}); they become
+	// the index's serving defaults, restored after any per-request
+	// override.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// servedIndex is the type-erased face of one loaded index: JSON-encoded
+// queries in, neighbors out. The HTTP layer never sees the object type.
+type servedIndex interface {
+	search(raw json.RawMessage, k int) ([]topk.Neighbor, error)
+	searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error)
+	// applyParams sets per-request method params and returns the restore
+	// function for the previous settings. Callers must hold the
+	// snapshot's param lock exclusively around apply+search+restore.
+	applyParams(p experiments.Params) (restore func(), err error)
+}
+
+// typedIndex adapts one concrete index.Index[T] to servedIndex.
+type typedIndex[T any] struct {
+	idx index.Index[T]
+	dec func(json.RawMessage) (T, error)
+}
+
+func (t *typedIndex[T]) search(raw json.RawMessage, k int) ([]topk.Neighbor, error) {
+	q, err := t.dec(raw)
+	if err != nil {
+		return nil, badRequestf("query: %v", err)
+	}
+	return t.idx.Search(q, k), nil
+}
+
+func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
+	qs := make([]T, len(raws))
+	for i, raw := range raws {
+		q, err := t.dec(raw)
+		if err != nil {
+			return nil, badRequestf("query %d: %v", i, err)
+		}
+		qs[i] = q
+	}
+	return engine.SearchBatchPool(pool, t.idx, qs, k), nil
+}
+
+func (t *typedIndex[T]) applyParams(p experiments.Params) (func(), error) {
+	prev, err := experiments.ApplyParams(t.idx, p)
+	if err != nil {
+		return nil, badRequestf("%v", err)
+	}
+	return func() {
+		// Restoring previously read values cannot fail.
+		if _, err := experiments.ApplyParams(t.idx, prev); err != nil {
+			panic(fmt.Sprintf("server: restoring params %v: %v", prev, err))
+		}
+	}, nil
+}
+
+// loadServed loads the index file at path per its manifest: regenerate the
+// corpus named by the manifest, resolve the space from the file header, and
+// reconstruct the index over both.
+func loadServed(path string, man Manifest) (servedIndex, codec.Header, error) {
+	hdr, err := persist.PeekHeader(path)
+	if err != nil {
+		return nil, codec.Header{}, err
+	}
+	if man.N <= 0 {
+		return nil, hdr, fmt.Errorf("manifest: n must be positive, got %d", man.N)
+	}
+	switch {
+	case man.Dataset == "sift":
+		data := dataset.SIFT(man.Seed, man.N)
+		return loadTyped(path, hdr, man, data, denseSpace, decodeDense(len(data[0])))
+	case man.Dataset == "cophir":
+		data := dataset.CoPhIR(man.Seed, man.N)
+		return loadTyped(path, hdr, man, data, denseSpace, decodeDense(len(data[0])))
+	case man.Dataset == "dna":
+		return loadTyped(path, hdr, man, dataset.DNA(man.Seed, man.N, dataset.DNAOptions{}), stringSpace, decodeString)
+	case man.Dataset == "wiki-sparse":
+		return loadTyped(path, hdr, man, dataset.WikiSparse(man.Seed, man.N, dataset.WikiSparseOptions{}), sparseSpace, decodeSparse)
+	case man.Dataset == "imagenet":
+		data := dataset.ImageNet(man.Seed, man.N, dataset.SignatureOptions{})
+		return loadTyped(path, hdr, man, data, signatureSpace, decodeSignature(data[0].Dim))
+	case strings.HasPrefix(man.Dataset, "wiki-"):
+		topics, err := strconv.Atoi(strings.TrimPrefix(man.Dataset, "wiki-"))
+		if err != nil || topics <= 1 {
+			return nil, hdr, fmt.Errorf("manifest: dataset %q is not wiki-<topics>", man.Dataset)
+		}
+		return loadTyped(path, hdr, man, dataset.WikiLDA(man.Seed, man.N, topics), histogramSpace, decodeHistogram(topics))
+	default:
+		return nil, hdr, fmt.Errorf("manifest: unknown dataset %q", man.Dataset)
+	}
+}
+
+// loadTyped finishes loadServed for one object type: resolve the space the
+// file was built under, load, and apply the manifest's default params.
+func loadTyped[T any](path string, hdr codec.Header, man Manifest, data []T,
+	spOf func(string) (space.Space[T], error), dec func(json.RawMessage) (T, error)) (servedIndex, codec.Header, error) {
+	sp, err := spOf(hdr.Space)
+	if err != nil {
+		return nil, hdr, fmt.Errorf("%s: %w", path, err)
+	}
+	idx, err := persist.LoadFile(path, sp, data)
+	if err != nil {
+		return nil, hdr, err
+	}
+	if len(man.Params) > 0 {
+		if _, err := experiments.ApplyParams(idx, experiments.Params(man.Params)); err != nil {
+			return nil, hdr, fmt.Errorf("%s: manifest params: %w", path, err)
+		}
+	}
+	return &typedIndex[T]{idx: idx, dec: dec}, hdr, nil
+}
+
+// Space resolution per object type. The header's space tag names a
+// parameterless value; an unknown tag for the manifest's object type means
+// the file and manifest disagree.
+
+func denseSpace(name string) (space.Space[[]float32], error) {
+	switch name {
+	case "l2":
+		return space.L2{}, nil
+	case "l1":
+		return space.L1{}, nil
+	}
+	return nil, fmt.Errorf("no dense-vector space %q", name)
+}
+
+func stringSpace(name string) (space.Space[[]byte], error) {
+	switch name {
+	case "normleven":
+		return space.NormalizedLevenshtein{}, nil
+	case "leven":
+		return space.Levenshtein{}, nil
+	}
+	return nil, fmt.Errorf("no byte-string space %q", name)
+}
+
+func sparseSpace(name string) (space.Space[space.SparseVector], error) {
+	if name == "cosine" {
+		return space.CosineDistance{}, nil
+	}
+	return nil, fmt.Errorf("no sparse-vector space %q", name)
+}
+
+func histogramSpace(name string) (space.Space[space.Histogram], error) {
+	switch name {
+	case "kldiv":
+		return space.KLDivergence{}, nil
+	case "jsdiv":
+		return space.JSDivergence{}, nil
+	}
+	return nil, fmt.Errorf("no histogram space %q", name)
+}
+
+func signatureSpace(name string) (space.Space[space.Signature], error) {
+	if name == "sqfd" {
+		return space.SQFD{}, nil
+	}
+	return nil, fmt.Errorf("no signature space %q", name)
+}
+
+// Query decoders: the JSON shape of one query per object type. Shapes that
+// must agree with the corpus (vector and histogram dimensionality, signature
+// feature dim — the distance functions panic or silently mis-answer on a
+// mismatch) are validated here, so a wrong-shaped query is a 400 to its
+// sender, never a cancelled batch or a wrong answer.
+
+// decodeDense decodes a dense vector of the corpus dimensionality:
+// [0.5, 1, ...].
+func decodeDense(dim int) func(json.RawMessage) ([]float32, error) {
+	return func(raw json.RawMessage) ([]float32, error) {
+		var v []float32
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, err
+		}
+		if len(v) != dim {
+			return nil, fmt.Errorf("vector has %d dimensions, index corpus has %d", len(v), dim)
+		}
+		return v, nil
+	}
+}
+
+// decodeString decodes a byte string: "ACGT".
+func decodeString(raw json.RawMessage) ([]byte, error) {
+	var s string
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}
+
+// decodeHistogram decodes a probability histogram over the corpus's bin
+// count: [0.2, 0.8, ...] (floored and renormalized exactly like the data
+// set's preprocessing).
+func decodeHistogram(bins int) func(json.RawMessage) (space.Histogram, error) {
+	return func(raw json.RawMessage) (space.Histogram, error) {
+		var v []float32
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return space.Histogram{}, err
+		}
+		if len(v) != bins {
+			return space.Histogram{}, fmt.Errorf("histogram has %d bins, index corpus has %d", len(v), bins)
+		}
+		return space.NewHistogram(v), nil
+	}
+}
+
+// decodeSparse decodes a sparse vector: {"idx": [3, 17], "val": [0.5, 1.25]}.
+// Sparse cosine imposes no dimensionality; NewSparseVector validates the
+// pair shape and ordering.
+func decodeSparse(raw json.RawMessage) (space.SparseVector, error) {
+	var v struct {
+		Idx []int32   `json:"idx"`
+		Val []float32 `json:"val"`
+	}
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return space.SparseVector{}, err
+	}
+	return space.NewSparseVector(v.Idx, v.Val)
+}
+
+// decodeSignature decodes an SQFD signature with the corpus's feature
+// dimensionality: {"weights": [...], "centroids": [...], "dim": 7}.
+func decodeSignature(dim int) func(json.RawMessage) (space.Signature, error) {
+	return func(raw json.RawMessage) (space.Signature, error) {
+		var v struct {
+			Weights   []float32 `json:"weights"`
+			Centroids []float32 `json:"centroids"`
+			Dim       int       `json:"dim"`
+		}
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return space.Signature{}, err
+		}
+		if v.Dim != dim {
+			return space.Signature{}, fmt.Errorf("signature has dim %d, index corpus has %d", v.Dim, dim)
+		}
+		return space.NewSignature(v.Weights, v.Centroids, v.Dim)
+	}
+}

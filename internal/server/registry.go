@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/codec"
+	"repro/internal/persist"
+)
+
+// Registry is the named-index set a server process holds: one entry per
+// index file found at startup. The entry set is fixed for the life of the
+// process (adding an index means restarting or running another process
+// behind the router); what an entry *serves* is hot-swappable via Reload.
+type Registry struct {
+	entries map[string]*entry
+	names   []string // sorted
+}
+
+// entry is one named index: the current snapshot plus lifetime counters.
+// Counters survive reloads — they describe the name, not one generation of
+// its file.
+type entry struct {
+	name     string
+	path     string // the .psix file
+	manifest string // its sidecar
+	snap     atomic.Pointer[snapshot]
+	// reloadMu serializes reloads of this entry. Searches never touch it:
+	// they resolve snap once and run on that generation.
+	reloadMu sync.Mutex
+	stats    counters
+}
+
+// snapshot is one loaded generation of an entry. A reload builds a complete
+// new snapshot and swaps the pointer; in-flight queries keep answering on
+// the generation they resolved, so a swap never tears a search.
+type snapshot struct {
+	served servedIndex
+	hdr    codec.Header
+	man    Manifest
+	// paramMu guards the index's query-time knobs: every search holds it
+	// shared, a request carrying per-request method params holds it
+	// exclusively around apply+search+restore (the underlying setters are
+	// documented as not safe concurrently with Search).
+	paramMu sync.RWMutex
+}
+
+// counters are the per-index serving stats reported by /statusz.
+type counters struct {
+	requests  atomic.Int64 // search HTTP requests
+	queries   atomic.Int64 // individual queries (each batch element counts)
+	failures  atomic.Int64 // requests answered 4xx/5xx
+	latencyNs atomic.Int64 // cumulative search handler latency
+	reloads   atomic.Int64 // successful hot reloads
+}
+
+// OpenDir loads every index file (*.psix) in dir into a registry. Each file
+// must have a sidecar manifest named <base>.json describing its corpus (see
+// Manifest). Any unreadable file, missing sidecar or failed load aborts the
+// whole set — a daemon either serves everything it was pointed at or
+// refuses to start.
+func OpenDir(dir string) (*Registry, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{entries: map[string]*entry{}}
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), persist.Ext) {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), persist.Ext)
+		e := &entry{
+			name:     name,
+			path:     filepath.Join(dir, de.Name()),
+			manifest: filepath.Join(dir, name+".json"),
+		}
+		snap, err := loadSnapshot(e)
+		if err != nil {
+			return nil, fmt.Errorf("index %q: %w", name, err)
+		}
+		e.snap.Store(snap)
+		r.entries[name] = e
+		r.names = append(r.names, name)
+	}
+	if len(r.entries) == 0 {
+		return nil, fmt.Errorf("no index files (*%s) in %s", persist.Ext, dir)
+	}
+	sort.Strings(r.names)
+	return r, nil
+}
+
+// loadSnapshot reads the entry's manifest and index file into a fresh
+// snapshot, touching nothing shared — the caller decides when to swap.
+func loadSnapshot(e *entry) (*snapshot, error) {
+	man, err := readManifest(e.manifest)
+	if err != nil {
+		return nil, err
+	}
+	served, hdr, err := loadServed(e.path, man)
+	if err != nil {
+		return nil, err
+	}
+	return &snapshot{served: served, hdr: hdr, man: man}, nil
+}
+
+// readManifest parses one sidecar file.
+func readManifest(path string) (Manifest, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{}, fmt.Errorf("missing sidecar manifest %s (every .psix needs one; see server.Manifest)", path)
+		}
+		return Manifest{}, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(blob, &man); err != nil {
+		return Manifest{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return man, nil
+}
+
+// Names lists the registry's index names, sorted.
+func (r *Registry) Names() []string { return r.names }
+
+// get returns the named entry, or nil.
+func (r *Registry) get(name string) *entry { return r.entries[name] }
+
+// Reload re-reads the named index's manifest and file from disk and swaps
+// the new generation in atomically. In-flight queries finish on the old
+// snapshot; new queries see the new one; nothing is ever served
+// half-loaded. On failure the old snapshot stays live and the error is
+// returned — reloading a bad file is a no-op, not an outage.
+func (r *Registry) Reload(name string) (codec.Header, error) {
+	e := r.get(name)
+	if e == nil {
+		return codec.Header{}, fmt.Errorf("no index %q", name)
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	snap, err := loadSnapshot(e)
+	if err != nil {
+		return codec.Header{}, err
+	}
+	e.snap.Store(snap)
+	e.stats.reloads.Add(1)
+	return snap.hdr, nil
+}

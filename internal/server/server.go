@@ -1,0 +1,424 @@
+// Package server is the online serving layer over the persistence subsystem:
+// an HTTP JSON front end that warm-starts a named set of saved indexes
+// (internal/persist + the deterministic dataset generators) and answers
+// k-NN queries over them. cmd/permserve is the thin daemon wrapper.
+//
+// # API
+//
+//	GET  /healthz                      liveness probe
+//	GET  /statusz                      per-index QPS/latency counters
+//	GET  /v1/indexes                   list indexes + header metadata
+//	POST /v1/indexes/{name}/search     answer queries (single or batch)
+//	POST /v1/indexes/{name}/reload     hot-swap the index from its file
+//
+// A search body carries exactly one of "query" (one object) or "queries"
+// (a batch, fanned out over the worker pool), "k" (default 10), and
+// optional per-request method params ("params": {"gamma": 0.05}) — the
+// query-time knobs of experiments.ApplyParams, applied for this request
+// only and restored afterwards.
+//
+// # Consistency
+//
+// Every request resolves its index snapshot exactly once. A concurrent
+// reload swaps a complete new snapshot in atomically; requests already
+// running finish on the generation they started with, so results are never
+// computed half on the old and half on the new index. Per-request params
+// take the snapshot's knob lock exclusively (plain searches share it), so a
+// param override can neither race another search nor leak into one.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/topk"
+)
+
+// maxBodyBytes caps a request body; a batch of a few thousand dense
+// queries fits with room to spare, a runaway client does not.
+const maxBodyBytes = 64 << 20
+
+// Options configure the HTTP layer.
+type Options struct {
+	// Workers bounds the goroutines answering one batch request
+	// (<= 0: GOMAXPROCS), exactly like the evaluation tools' -workers.
+	Workers int
+	// Timeout is the per-request execution budget; 0 means none. A
+	// request over budget is answered 504 while its work is abandoned to
+	// finish (harmlessly, on its own snapshot) in the background.
+	Timeout time.Duration
+	// Log receives serving events; nil means the process default logger.
+	Log *log.Logger
+}
+
+// Server routes HTTP requests over a Registry. Create with New, mount via
+// Handler.
+type Server struct {
+	reg     *Registry
+	pool    engine.Pool
+	timeout time.Duration
+	log     *log.Logger
+	start   time.Time
+	mux     *http.ServeMux
+}
+
+// New builds a server over reg.
+func New(reg *Registry, opts Options) *Server {
+	s := &Server{
+		reg:     reg,
+		pool:    engine.NewPool(opts.Workers),
+		timeout: opts.Timeout,
+		log:     opts.Log,
+		start:   time.Now(),
+		mux:     http.NewServeMux(),
+	}
+	if s.log == nil {
+		s.log = log.Default()
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statusz", s.recovered(s.handleStatusz))
+	s.mux.HandleFunc("GET /v1/indexes", s.recovered(s.handleList))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/search", s.recovered(s.handleSearch))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/reload", s.recovered(s.handleReload))
+	return s
+}
+
+// Handler returns the mounted routes.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// recovered turns a handler panic into a 500 instead of a killed
+// connection: net/http's own recovery closes the socket without a response,
+// which a client cannot tell from a crash. Worker-pool panics arrive here
+// too, re-raised by engine.Pool on the request goroutine.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Printf("server: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", p))
+			}
+		}()
+		h(w, r)
+	}
+}
+
+// badRequestError marks a client-caused failure (malformed body or query,
+// unknown method param); the handler answers 400 instead of 500.
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+// badRequestf builds a badRequestError.
+func badRequestf(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// searchRequest is the body of POST /v1/indexes/{name}/search.
+type searchRequest struct {
+	// Query is one object in the index's JSON query encoding; Queries is
+	// a batch. Exactly one of the two must be present.
+	Query   json.RawMessage   `json:"query,omitempty"`
+	Queries []json.RawMessage `json:"queries,omitempty"`
+	// K is the neighbor count (default 10).
+	K int `json:"k,omitempty"`
+	// Params are query-time method params for this request only.
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// neighborJSON is one search answer on the wire.
+type neighborJSON struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+// singleResponse answers a one-query search; Results may be empty, never
+// null.
+type singleResponse struct {
+	Index   string         `json:"index"`
+	K       int            `json:"k"`
+	Results []neighborJSON `json:"results"`
+}
+
+// batchResponse answers a batch search: one result list per query, in
+// request order.
+type batchResponse struct {
+	Index string           `json:"index"`
+	K     int              `json:"k"`
+	Batch [][]neighborJSON `json:"batch"`
+}
+
+// indexInfo is one row of GET /v1/indexes.
+type indexInfo struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Space   string `json:"space"`
+	N       uint64 `json:"n"`
+	Version uint16 `json:"version"`
+	Dataset string `json:"dataset"`
+	Seed    int64  `json:"seed"`
+}
+
+// indexStatus is one row of GET /statusz.
+type indexStatus struct {
+	Name          string  `json:"name"`
+	Kind          string  `json:"kind"`
+	Requests      int64   `json:"requests"`
+	Queries       int64   `json:"queries"`
+	Failures      int64   `json:"failures"`
+	Reloads       int64   `json:"reloads"`
+	QPS           float64 `json:"qps"`             // queries / process uptime
+	MeanLatencyUs float64 `json:"mean_latency_us"` // per search request
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	infos := make([]indexInfo, 0, len(s.reg.Names()))
+	for _, name := range s.reg.Names() {
+		snap := s.reg.get(name).snap.Load()
+		infos = append(infos, indexInfo{
+			Name:    name,
+			Kind:    snap.hdr.Kind,
+			Space:   snap.hdr.Space,
+			N:       snap.hdr.N,
+			Version: snap.hdr.Version,
+			Dataset: snap.man.Dataset,
+			Seed:    snap.man.Seed,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(s.start)
+	rows := make([]indexStatus, 0, len(s.reg.Names()))
+	for _, name := range s.reg.Names() {
+		e := s.reg.get(name)
+		row := indexStatus{
+			Name:     name,
+			Kind:     e.snap.Load().hdr.Kind,
+			Requests: e.stats.requests.Load(),
+			Queries:  e.stats.queries.Load(),
+			Failures: e.stats.failures.Load(),
+			Reloads:  e.stats.reloads.Load(),
+		}
+		if up := uptime.Seconds(); up > 0 {
+			row.QPS = float64(row.Queries) / up
+		}
+		if row.Requests > 0 {
+			row.MeanLatencyUs = float64(e.stats.latencyNs.Load()) / float64(row.Requests) / 1e3
+		}
+		rows = append(rows, row)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": uptime.Seconds(),
+		"indexes":  rows,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.reg.get(name) == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no index %q", name))
+		return
+	}
+	hdr, err := s.reg.Reload(name)
+	if err != nil {
+		s.log.Printf("server: reload %q failed, previous generation stays live: %v", name, err)
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload %q: %v", name, err))
+		return
+	}
+	s.log.Printf("server: reloaded %q (%s, n=%d)", name, hdr.Kind, hdr.N)
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"reloaded": name, "kind": hdr.Kind, "space": hdr.Space, "n": hdr.N,
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e := s.reg.get(name)
+	if e == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no index %q", name))
+		return
+	}
+	e.stats.requests.Add(1)
+	start := time.Now()
+	defer func() { e.stats.latencyNs.Add(time.Since(start).Nanoseconds()) }()
+
+	req, err := decodeSearchRequest(r)
+	if err != nil {
+		e.stats.failures.Add(1)
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	numQueries := 1
+	if req.Query == nil {
+		numQueries = len(req.Queries)
+	}
+	e.stats.queries.Add(int64(numQueries))
+
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	// The snapshot is resolved once; a concurrent reload cannot tear this
+	// request.
+	snap := e.snap.Load()
+	// Cap k at the corpus size: Search never returns more than n results
+	// anyway, and the top-k queues pre-allocate k slots per query — an
+	// uncapped k would let one request allocate the daemon to death.
+	if n := int(snap.hdr.N); req.K > n && n > 0 {
+		req.K = n
+	}
+	resp, err := runDetached(ctx, s.log, func() (any, error) {
+		return s.execute(snap, name, req)
+	})
+	if err != nil {
+		e.stats.failures.Add(1)
+		var bad *badRequestError
+		switch {
+		case errors.As(err, &bad):
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusGatewayTimeout, "search timed out")
+		case errors.Is(err, context.Canceled):
+			// Client went away; any status is unreachable, but close out.
+			s.writeError(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeSearchRequest parses and validates a search body.
+func decodeSearchRequest(r *http.Request) (searchRequest, error) {
+	var req searchRequest
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		return req, badRequestf("reading body: %v", err)
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, badRequestf("malformed body: %v", err)
+	}
+	if (req.Query == nil) == (len(req.Queries) == 0) {
+		return req, badRequestf(`body must carry exactly one of "query" or a non-empty "queries"`)
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K < 0 {
+		return req, badRequestf("k must be positive, got %d", req.K)
+	}
+	return req, nil
+}
+
+// execute answers one validated request on one snapshot.
+func (s *Server) execute(snap *snapshot, name string, req searchRequest) (any, error) {
+	if len(req.Params) > 0 {
+		// Per-request params mutate the index's knobs: exclusive lock,
+		// apply, answer, restore. Plain searches hold the lock shared.
+		snap.paramMu.Lock()
+		defer snap.paramMu.Unlock()
+		restore, err := snap.served.applyParams(experiments.Params(req.Params))
+		if err != nil {
+			return nil, err
+		}
+		defer restore()
+	} else {
+		snap.paramMu.RLock()
+		defer snap.paramMu.RUnlock()
+	}
+
+	if req.Query != nil {
+		nbs, err := snap.served.search(req.Query, req.K)
+		if err != nil {
+			return nil, err
+		}
+		return &singleResponse{Index: name, K: req.K, Results: toJSON(nbs)}, nil
+	}
+	outs, err := snap.served.searchBatch(req.Queries, req.K, s.pool)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([][]neighborJSON, len(outs))
+	for i, nbs := range outs {
+		batch[i] = toJSON(nbs)
+	}
+	return &batchResponse{Index: name, K: req.K, Batch: batch}, nil
+}
+
+// runDetached runs f on its own goroutine and waits for it or for ctx. On
+// timeout the request fails while f finishes in the background — harmless,
+// since f only reads its snapshot, which outlives any reload. A panic in f
+// is re-raised on the caller's goroutine so the recover middleware answers
+// 500; a panic after the caller has already timed out goes to lg.
+func runDetached[V any](ctx context.Context, lg *log.Logger, f func() (V, error)) (V, error) {
+	type outcome struct {
+		v        V
+		err      error
+		panicked any
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var o outcome
+		defer func() {
+			if p := recover(); p != nil {
+				o.panicked = p
+			}
+			ch <- o
+		}()
+		o.v, o.err = f()
+	}()
+	select {
+	case o := <-ch:
+		if o.panicked != nil {
+			panic(o.panicked)
+		}
+		return o.v, o.err
+	case <-ctx.Done():
+		go func() {
+			if o := <-ch; o.panicked != nil {
+				lg.Printf("server: abandoned query panicked: %v", o.panicked)
+			}
+		}()
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// toJSON converts neighbors to the wire shape (always non-nil, so a query
+// with no results encodes as [] rather than null).
+func toJSON(nbs []topk.Neighbor) []neighborJSON {
+	out := make([]neighborJSON, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborJSON{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("server: writing response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

@@ -63,6 +63,7 @@ package permsearch
 import (
 	"io"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/index"
@@ -161,6 +162,26 @@ func SaveIndexFile[T any](path string, idx Index[T]) error {
 // LoadIndexFile is LoadIndex from a file path.
 func LoadIndexFile[T any](path string, sp Space[T], data []T) (Index[T], error) {
 	return persist.LoadFile(path, sp, data)
+}
+
+// IndexHeader describes a persisted index file: its kind tag, the name of
+// the space it was built under, the format version and the data-set size.
+type IndexHeader = codec.Header
+
+// ReadIndexHeader returns the header of the index file at path without
+// reconstructing the index, so callers can decide which space and data to
+// load it over (or list a directory's contents cheaply).
+func ReadIndexHeader(path string) (IndexHeader, error) {
+	return persist.PeekHeader(path)
+}
+
+// LoadIndexSet opens every index file (*.psix) in dir over one shared
+// (space, data) pair, returning ready indexes keyed by file name without
+// the extension — the warm-start path for serving processes that hold
+// several index structures over the same corpus. Any file that fails to
+// load or mismatches sp/data aborts the whole set.
+func LoadIndexSet[T any](dir string, sp Space[T], data []T) (map[string]Index[T], error) {
+	return persist.LoadIndexSet(dir, sp, data)
 }
 
 // IndexKinds lists the kind tags of every persistable index family, in the

@@ -1,0 +1,53 @@
+#!/bin/sh
+# Smoke test of the serving daemon: write a demo index set, boot permserve
+# on a free port, and drive /healthz, one search, a hot reload and /statusz
+# end to end. Exits nonzero on any unexpected answer. Run via
+# `make serve-smoke`.
+set -eu
+
+BIN=${1:?usage: serve_smoke.sh path/to/permserve}
+TMP=$(mktemp -d)
+LOG="$TMP/permserve.log"
+PID=
+trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
+
+"$BIN" -write-demo -dir "$TMP/idx"
+"$BIN" -dir "$TMP/idx" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- permserve log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+# Wait for the daemon to log its bound address (port 0 picks a free one).
+ADDR=
+i=0
+while [ $i -lt 50 ]; do
+    ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$LOG" | head -n1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup"
+    sleep 0.2
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "daemon never started listening"
+
+HEALTH=$(curl -sf "http://$ADDR/healthz") || fail "healthz request failed"
+[ "$HEALTH" = "ok" ] || fail "healthz said '$HEALTH', want 'ok'"
+
+RESULT=$(curl -sf -d '{"query": "ACGTACGTAC", "k": 3}' \
+    "http://$ADDR/v1/indexes/dna-vptree/search") || fail "search request failed"
+echo "$RESULT" | grep -q '"results":\[{"id":' || fail "search returned no neighbors: $RESULT"
+
+curl -sf -XPOST "http://$ADDR/v1/indexes/dna-vptree/reload" >/dev/null || fail "hot reload failed"
+curl -sf "http://$ADDR/statusz" | grep -q '"requests":1' || fail "statusz did not count the search"
+
+kill "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+PID=
+[ "$STATUS" -eq 0 ] || fail "daemon exited with status $STATUS on SIGTERM"
+grep -q "permserve: bye" "$LOG" || fail "no graceful shutdown on SIGTERM"
+echo "serve-smoke: OK (served on $ADDR)"
