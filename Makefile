@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench vet fmt check fuzz serve-smoke ci
+.PHONY: build test race bench bench-engine bench-smoke vet fmt check fuzz serve-smoke ci
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,20 @@ race:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 30s ./internal/codec/
 
+# Query hot-path microbenchmarks (-benchmem) + the machine-readable
+# BENCH_PR4.json trajectory point (per method: ns/op, B/op, allocs/op, QPS).
+bench:
+	./scripts/bench.sh BENCH_PR4.json
+
+# Fast non-gating CI pass over the same harness: proves the benchmarks
+# still compile/run and the JSON emitter still parses their output.
+bench-smoke:
+	./scripts/bench.sh /tmp/bench_smoke.json 10x
+	@grep -q '"method"' /tmp/bench_smoke.json
+
 # Batch-engine throughput: the serial reference loop vs SearchBatch at
 # 1/2/4/8 workers over the sequential scan.
-bench:
+bench-engine:
 	$(GO) test -run '^$$' -bench BenchmarkSearchBatch -benchmem ./internal/engine/
 
 # End-to-end smoke of the serving daemon: build permserve, write a demo

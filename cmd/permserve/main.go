@@ -18,6 +18,13 @@
 // -addr supports port 0; the actually bound address is logged, which the
 // smoke test uses to serve on a free port. SIGINT/SIGTERM shut down
 // gracefully: in-flight requests finish, new connections are refused.
+//
+// -pprof-addr (empty by default) exposes net/http/pprof on a separate
+// listener, and /statusz reports Go runtime memory/GC counters, so the
+// serving-side allocation behavior of the query hot path is observable in
+// production: profile with
+//
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -49,6 +57,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the bound address is logged)")
 	workers := flag.Int("workers", 0, "goroutines per batch request (<= 0: GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution budget (0: none)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty: disabled); keep it on a loopback or otherwise private port")
 	writeDemo := flag.Bool("write-demo", false, "write a small demo index set into -dir and exit")
 	flag.Parse()
 
@@ -62,6 +71,29 @@ func main() {
 			log.Fatalf("permserve: writing demo set: %v", err)
 		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a separate listener: profiling never shares a
+		// port with the serving API, so exposing one cannot expose the
+		// other. CPU/heap/goroutine profiles are how serving-side
+		// allocation wins (see README "Performance") are verified live.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("permserve: pprof listener: %v", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("permserve: pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := (&http.Server{Handler: pmux}).Serve(pln); err != nil {
+				log.Printf("permserve: pprof server: %v", err)
+			}
+		}()
 	}
 
 	reg, err := server.OpenDir(*dir)

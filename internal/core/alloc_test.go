@@ -1,0 +1,119 @@
+package core_test
+
+// Allocation guards for the query hot path: on a warm index, the
+// steady-state cost of answering a query is
+//
+//   - zero allocations through a Searcher's SearchAppend with a reusable
+//     result buffer (the scratch subsystem owns every intermediate), and
+//   - exactly one allocation through plain Search: the returned result
+//     slice, the only memory the index hands to the caller.
+//
+// The guards run over L2 so only index machinery is measured — a space
+// whose Distance allocates (e.g. Levenshtein's DP rows) would drown the
+// signal. A regression here means a per-query allocation crept back into
+// the filter or refine stage; fix the code, don't relax the guard.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// allocKinds builds the guarded index matrix over a small L2 corpus.
+func allocKinds(t *testing.T) (queries [][]float32, kinds []struct {
+	kind  string
+	index index.Index[[]float32]
+}) {
+	t.Helper()
+	const n, nq, seed = 600, 8, 7
+	all := dataset.SIFT(seed, n+nq)
+	db, qs := all[:n], all[n:]
+	mk := func(kind string, idx index.Index[[]float32], err error) {
+		if err != nil {
+			t.Fatalf("building %s: %v", kind, err)
+		}
+		kinds = append(kinds, struct {
+			kind  string
+			index index.Index[[]float32]
+		}{kind, idx})
+	}
+	napp, err := core.NewNAPP(sp32(), db, core.NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, NumPivotSearch: 16, MinShared: 1, Seed: seed,
+	})
+	mk("napp", napp, err)
+	nappCap, err := core.NewNAPP(sp32(), db, core.NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, MinShared: 1, MaxCandidates: 40, Seed: seed,
+	})
+	mk("napp-capped", nappCap, err)
+	mi, err := core.NewMIFile(sp32(), db, core.MIFileOptions{
+		NumPivots: 32, NumPivotIndex: 16, NumPivotSearch: 8, MaxPosDiff: 10, Seed: seed,
+	})
+	mk("mi-file", mi, err)
+	pp, err := core.NewPPIndex(sp32(), db, core.PPIndexOptions{
+		NumPivots: 16, PrefixLen: 4, Copies: 2, Seed: seed,
+	})
+	mk("pp-index", pp, err)
+	bf, err := core.NewBruteForceFilter(sp32(), db, core.BruteForceOptions{NumPivots: 32, Seed: seed})
+	mk("brute-force-filt", bf, err)
+	bin, err := core.NewBinFilter(sp32(), db, core.BinFilterOptions{NumPivots: 64, Seed: seed})
+	mk("brute-force-filt-bin", bin, err)
+	dv, err := core.NewDistVecFilter(sp32(), db, core.BruteForceOptions{NumPivots: 32, Seed: seed})
+	mk("distvec-filt", dv, err)
+	om, err := core.NewOMEDRANK(sp32(), db, core.OMEDRANKOptions{NumVoters: 6, Seed: seed})
+	mk("omedrank", om, err)
+	return qs, kinds
+}
+
+func sp32() space.Space[[]float32] { return space.L2{} }
+
+// TestSearchAppendZeroAllocs asserts the headline property of the scratch
+// subsystem: a warm per-worker Searcher answers queries with zero
+// steady-state allocations when the caller supplies the result buffer.
+func TestSearchAppendZeroAllocs(t *testing.T) {
+	const k = 10
+	queries, kinds := allocKinds(t)
+	for _, kc := range kinds {
+		t.Run(kc.kind, func(t *testing.T) {
+			s := kc.index.(index.SearcherProvider[[]float32]).NewSearcher()
+			dst := make([]topk.Neighbor, 0, k)
+			// Warm every query first: candidate counts differ per query,
+			// so each may grow the scratch buffers a little further.
+			for _, q := range queries {
+				dst = s.SearchAppend(dst[:0], q, k)
+			}
+			qi := 0
+			if avg := testing.AllocsPerRun(50, func() {
+				dst = s.SearchAppend(dst[:0], queries[qi%len(queries)], k)
+				qi++
+			}); avg != 0 {
+				t.Errorf("warm SearchAppend allocates %v times per run, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestSearchSingleAlloc asserts the plain Search entry point costs exactly
+// the documented constant on a warm index: one allocation, the returned
+// result slice (scratch is pooled per query inside the index).
+func TestSearchSingleAlloc(t *testing.T) {
+	const k = 10
+	queries, kinds := allocKinds(t)
+	for _, kc := range kinds {
+		t.Run(kc.kind, func(t *testing.T) {
+			for _, q := range queries {
+				kc.index.Search(q, k)
+			}
+			qi := 0
+			if avg := testing.AllocsPerRun(50, func() {
+				kc.index.Search(queries[qi%len(queries)], k)
+				qi++
+			}); avg > 1 {
+				t.Errorf("warm Search allocates %v times per run, want <= 1 (the result slice)", avg)
+			}
+		})
+	}
+}

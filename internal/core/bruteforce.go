@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -46,11 +47,21 @@ func (o *BruteForceOptions) defaults() {
 // distance. Simple, database-friendly, and per Figure 4 competitive when the
 // distance is expensive (SQFD, normalized Levenshtein).
 type BruteForceFilter[T any] struct {
-	sp     space.Space[T]
-	data   []T
-	pivots *permutation.Pivots[T]
-	perms  []int32 // flattened n x m
-	opts   BruteForceOptions
+	sp      space.Space[T]
+	data    []T
+	pivots  *permutation.Pivots[T]
+	perms   []int32 // flattened n x m
+	opts    BruteForceOptions
+	scratch scratch.Pool[bfScratch]
+}
+
+// bfScratch is the per-query state of one brute-force filter search: the
+// query permutation buffers, the n-wide candidate scoring slab, and the
+// refine queue.
+type bfScratch struct {
+	perm  permutation.Scratch
+	cands []topk.Neighbor
+	queue topk.Queue
 }
 
 // NewBruteForceFilter samples pivots and computes the permutation of every
@@ -121,15 +132,35 @@ func (f *BruteForceFilter[T]) RankAll(query T) []topk.Neighbor {
 
 // Search implements index.Index.
 func (f *BruteForceFilter[T]) Search(query T, k int) []topk.Neighbor {
+	return f.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (f *BruteForceFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := f.scratch.Get()
+	defer f.scratch.Put(s)
+	return f.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (f *BruteForceFilter[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, bfScratch]{fn: f.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (f *BruteForceFilter[T]) search(s *bfScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	qperm := f.pivots.Permutation(query, nil)
+	qperm := f.pivots.PermutationWith(&s.perm, query)
 	m := f.pivots.M()
 	n := len(f.data)
 	g := gammaCount(f.opts.Gamma, n, k)
 
-	cands := make([]topk.Neighbor, n)
+	cands := scratch.Grow(s.cands, n)
+	s.cands = cands
 	for i := 0; i < n; i++ {
 		cands[i] = topk.Neighbor{
 			ID:   uint32(i),
@@ -138,15 +169,12 @@ func (f *BruteForceFilter[T]) Search(query T, k int) []topk.Neighbor {
 	}
 	var best []topk.Neighbor
 	if f.opts.UseHeap {
+		// Ablation-only path; SelectKHeap allocates its queue per call.
 		best = topk.SelectKHeap(cands, g)
 	} else {
 		best = topk.SelectK(cands, g)
 	}
-	ids := make([]uint32, len(best))
-	for i, c := range best {
-		ids[i] = c.ID
-	}
-	return refine(f.sp, f.data, query, ids, k)
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
 }
 
 // BinFilterOptions configures NewBinFilter.
@@ -183,12 +211,21 @@ func (o *BinFilterOptions) defaults() {
 // experiment (Figure 4f), where 256-bit sketches are 16x smaller than the
 // equivalent full permutations.
 type BinFilter[T any] struct {
-	sp     space.Space[T]
-	data   []T
-	pivots *permutation.Pivots[T]
-	words  int
-	bits   []uint64 // flattened n x words
-	opts   BinFilterOptions
+	sp      space.Space[T]
+	data    []T
+	pivots  *permutation.Pivots[T]
+	words   int
+	bits    []uint64 // flattened n x words
+	opts    BinFilterOptions
+	scratch scratch.Pool[binScratch]
+}
+
+// binScratch is the per-query state of one binarized filter search.
+type binScratch struct {
+	perm  permutation.Scratch
+	qbits permutation.Binary
+	cands []topk.Neighbor
+	queue topk.Queue
 }
 
 // NewBinFilter samples pivots, computes permutations and binarizes them.
@@ -241,24 +278,40 @@ func (f *BinFilter[T]) Stats() index.Stats {
 
 // Search implements index.Index.
 func (f *BinFilter[T]) Search(query T, k int) []topk.Neighbor {
+	return f.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (f *BinFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := f.scratch.Get()
+	defer f.scratch.Put(s)
+	return f.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (f *BinFilter[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, binScratch]{fn: f.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (f *BinFilter[T]) search(s *binScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	qperm := f.pivots.Permutation(query, nil)
-	qbits := permutation.Binarize(qperm, int32(f.opts.Threshold), nil)
+	qperm := f.pivots.PermutationWith(&s.perm, query)
+	s.qbits = permutation.Binarize(qperm, int32(f.opts.Threshold), s.qbits)
 	n := len(f.data)
 	g := gammaCount(f.opts.Gamma, n, k)
 
-	cands := make([]topk.Neighbor, n)
+	cands := scratch.Grow(s.cands, n)
+	s.cands = cands
 	w := f.words
 	for i := 0; i < n; i++ {
-		h := permutation.Hamming(qbits, f.bits[i*w:(i+1)*w])
+		h := permutation.Hamming(s.qbits, f.bits[i*w:(i+1)*w])
 		cands[i] = topk.Neighbor{ID: uint32(i), Dist: float64(h)}
 	}
 	best := topk.SelectK(cands, g)
-	ids := make([]uint32, len(best))
-	for i, c := range best {
-		ids[i] = c.ID
-	}
-	return refine(f.sp, f.data, query, ids, k)
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/index"
 	"repro/internal/permutation"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -68,16 +69,63 @@ func gammaCount(frac float64, n, k int) int {
 	return g
 }
 
-// refine computes true distances from the candidates to the query and
-// returns the k nearest, ordered by increasing distance. Candidate ids must
-// be unique. Data points are the left distance argument (left queries).
-func refine[T any](sp space.Space[T], data []T, query T, cands []uint32, k int) []topk.Neighbor {
-	q := topk.NewQueue(k)
+// refineInto computes true distances from the candidates to the query and
+// appends the k nearest, ordered by increasing distance, to dst. Candidate
+// ids must be unique. Data points are the left distance argument (left
+// queries). The queue is scratch state owned by the caller; refineInto does
+// not allocate when dst and the queue have warmed-up capacity.
+//
+// Ties at the k boundary are broken by candidate order (first kept wins),
+// so every index must feed candidates in a deterministic order.
+func refineInto[T any](sp space.Space[T], data []T, query T, cands []uint32, k int, q *topk.Queue, dst []topk.Neighbor) []topk.Neighbor {
+	q.Reset(k)
 	for _, id := range cands {
 		q.Push(id, sp.Distance(data[id], query))
 	}
-	return q.Results()
+	return q.AppendResults(dst)
 }
+
+// refineTopInto is refineInto over pre-scored candidates (the output of
+// topk.SelectK); only the IDs are consumed.
+func refineTopInto[T any](sp space.Space[T], data []T, query T, cands []topk.Neighbor, k int, q *topk.Queue, dst []topk.Neighbor) []topk.Neighbor {
+	q.Reset(k)
+	for _, c := range cands {
+		q.Push(c.ID, sp.Distance(data[c.ID], query))
+	}
+	return q.AppendResults(dst)
+}
+
+// searcher adapts a scratch-threaded search function to index.Searcher: it
+// owns one scratch state S for its lifetime, giving a single-goroutine
+// caller (a batch worker, a serving loop) buffer reuse across queries
+// without any pool traffic. The index's own Search/SearchAppend wrap the
+// same fn around a pooled state instead.
+type searcher[T, S any] struct {
+	scratch S
+	fn      func(s *S, dst []topk.Neighbor, query T, k int) []topk.Neighbor
+}
+
+// Search implements index.Searcher.
+func (w *searcher[T, S]) Search(query T, k int) []topk.Neighbor {
+	return w.fn(&w.scratch, nil, query, k)
+}
+
+// SearchAppend implements index.Searcher.
+func (w *searcher[T, S]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	return w.fn(&w.scratch, dst, query, k)
+}
+
+// compile-time interface checks: every core index mints searchers.
+var (
+	_ index.SearcherProvider[[]float32] = (*BruteForceFilter[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*BinFilter[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*DistVecFilter[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*PPIndex[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*MIFile[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*NAPP[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*OMEDRANK[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*PermVPTree[[]float32])(nil)
+)
 
 // parallelFor runs f(i) for every i in [0, n) on up to GOMAXPROCS
 // goroutines (uniform-cost build loops; see engine.Pool.For). Iterations

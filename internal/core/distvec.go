@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -19,11 +20,20 @@ import (
 // can be re-verified (BenchmarkAblation_PermVsDistVec and the corresponding
 // test).
 type DistVecFilter[T any] struct {
-	sp     space.Space[T]
-	data   []T
-	pivots *permutation.Pivots[T]
-	vecs   []float32 // flattened n x m raw distances
-	opts   BruteForceOptions
+	sp      space.Space[T]
+	data    []T
+	pivots  *permutation.Pivots[T]
+	vecs    []float32 // flattened n x m raw distances
+	opts    BruteForceOptions
+	scratch scratch.Pool[dvScratch]
+}
+
+// dvScratch is the per-query state of one distance-vector filter search.
+type dvScratch struct {
+	qd    []float64
+	qv    []float32
+	cands []topk.Neighbor
+	queue topk.Queue
 }
 
 // NewDistVecFilter samples pivots and stores raw pivot-distance vectors.
@@ -76,18 +86,39 @@ func (f *DistVecFilter[T]) Gamma() float64 { return f.opts.Gamma }
 
 // Search implements index.Index.
 func (f *DistVecFilter[T]) Search(query T, k int) []topk.Neighbor {
+	return f.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (f *DistVecFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := f.scratch.Get()
+	defer f.scratch.Put(s)
+	return f.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (f *DistVecFilter[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, dvScratch]{fn: f.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (f *DistVecFilter[T]) search(s *dvScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	m := f.pivots.M()
-	qd := f.pivots.Distances(query, nil)
-	qv := make([]float32, m)
-	for j, d := range qd {
+	s.qd = f.pivots.Distances(query, s.qd)
+	qv := scratch.Grow(s.qv, m)
+	s.qv = qv
+	for j, d := range s.qd {
 		qv[j] = float32(d)
 	}
 	n := len(f.data)
 	g := gammaCount(f.opts.Gamma, n, k)
-	cands := make([]topk.Neighbor, n)
+	cands := scratch.Grow(s.cands, n)
+	s.cands = cands
 	for i := 0; i < n; i++ {
 		cands[i] = topk.Neighbor{
 			ID:   uint32(i),
@@ -95,9 +126,5 @@ func (f *DistVecFilter[T]) Search(query T, k int) []topk.Neighbor {
 		}
 	}
 	best := topk.SelectK(cands, g)
-	ids := make([]uint32, len(best))
-	for i, c := range best {
-		ids[i] = c.ID
-	}
-	return refine(f.sp, f.data, query, ids, k)
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
 }

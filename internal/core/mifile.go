@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -77,6 +78,18 @@ type MIFile[T any] struct {
 	pivots   *permutation.Pivots[T]
 	postings [][]miPosting
 	opts     MIFileOptions
+	// scratch pools per-query search state; the epoch-stamped gain arena
+	// replaces the former per-query make([]int32, n).
+	scratch scratch.Pool[miScratch]
+}
+
+// miScratch is the per-query state of one MI-file search.
+type miScratch struct {
+	perm    permutation.Scratch
+	gains   scratch.Gains
+	touched []uint32
+	cands   []topk.Neighbor
+	queue   topk.Queue
 }
 
 // NewMIFile samples pivots and builds the positional inverted file.
@@ -145,18 +158,38 @@ func (mf *MIFile[T]) Options() MIFileOptions { return mf.opts }
 
 // Search implements index.Index.
 func (mf *MIFile[T]) Search(query T, k int) []topk.Neighbor {
+	return mf.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (mf *MIFile[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := mf.scratch.Get()
+	defer mf.scratch.Put(s)
+	return mf.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (mf *MIFile[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, miScratch]{fn: mf.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (mf *MIFile[T]) search(s *miScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	qorder := mf.pivots.Order(query, nil)
+	qorder := mf.pivots.OrderWith(&s.perm, query)
 	m := int32(mf.opts.NumPivots)
 	ms := mf.opts.NumPivotSearch
 
-	// gain[id] accumulates m - |pos_x - pos_q| per shared pivot; the
+	// gains accumulates m - |pos_x - pos_q| per shared pivot; the
 	// estimated Footrule on truncated permutations is ms*m - gain, so
 	// ranking by descending gain equals ranking by ascending estimate.
-	gain := make([]int32, len(mf.data))
-	var touched []uint32
+	// The arena's epoch bump replaces the former per-query O(N) zeroing.
+	s.gains.Begin(len(mf.data))
+	touched := s.touched[:0]
 	for qpos := 0; qpos < ms; qpos++ {
 		p := qorder[qpos]
 		list := mf.postings[p]
@@ -168,27 +201,24 @@ func (mf *MIFile[T]) Search(query T, k int) []topk.Neighbor {
 			hi = sort.Search(len(list), func(i int) bool { return list[i].pos > int32(qpos+d) })
 		}
 		for _, pe := range list[lo:hi] {
-			if gain[pe.id] == 0 {
-				touched = append(touched, pe.id)
-			}
 			diff := pe.pos - int32(qpos)
 			if diff < 0 {
 				diff = -diff
 			}
-			gain[pe.id] += m - diff
+			if _, first := s.gains.Add(pe.id, m-diff); first {
+				touched = append(touched, pe.id)
+			}
 		}
 	}
+	s.touched = touched
 
 	g := gammaCount(mf.opts.Gamma, len(mf.data), k)
-	cands := make([]topk.Neighbor, len(touched))
-	for i, id := range touched {
+	cands := s.cands[:0]
+	for _, id := range touched {
 		// Estimated footrule: smaller is better.
-		cands[i] = topk.Neighbor{ID: id, Dist: float64(int32(ms)*m - gain[id])}
+		cands = append(cands, topk.Neighbor{ID: id, Dist: float64(int32(ms)*m - s.gains.Get(id))})
 	}
+	s.cands = cands
 	best := topk.SelectK(cands, g)
-	ids := make([]uint32, len(best))
-	for i, c := range best {
-		ids[i] = c.ID
-	}
-	return refine(mf.sp, mf.data, query, ids, k)
+	return refineTopInto(mf.sp, mf.data, query, best, k, &s.queue, dst)
 }

@@ -3,11 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
-	"sync"
 
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -84,10 +83,23 @@ type NAPP[T any] struct {
 	// deleted holds tombstoned ids (see napp_dynamic.go); nil until the
 	// first Delete.
 	deleted map[uint32]struct{}
-	// counters pools ScanCount arrays across queries: the paper resets
-	// counters with a memset per search instead of reallocating, and at
-	// small n the allocation otherwise dominates cheap distances.
-	counters sync.Pool
+	// scratch pools per-query search state. Where the paper resets
+	// ScanCount counters with a per-query O(N) memset, the pooled
+	// epoch-stamped arena makes the reset O(1); the remaining buffers are
+	// grow-only, so a warm steady state performs no allocations.
+	scratch scratch.Pool[nappScratch]
+}
+
+// nappScratch is the per-query state of one NAPP search. It lives either in
+// the index's pool (plain Search) or inside a per-worker index.Searcher.
+type nappScratch struct {
+	perm     permutation.Scratch
+	counters scratch.Counters
+	cands    []uint32
+	// sel holds (candidate, shared-pivot score) pairs for the
+	// MaxCandidates partial selection.
+	sel   []topk.Neighbor
+	queue topk.Queue
 }
 
 // NewNAPP samples pivots and builds the inverted file (in parallel).
@@ -156,30 +168,40 @@ func (na *NAPP[T]) SetMinShared(t int) {
 
 // Search implements index.Index.
 func (na *NAPP[T]) Search(query T, k int) []topk.Neighbor {
+	return na.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (na *NAPP[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := na.scratch.Get()
+	defer na.scratch.Put(s)
+	return na.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (na *NAPP[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, nappScratch]{fn: na.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (na *NAPP[T]) search(s *nappScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	qorder := na.pivots.Order(query, nil)
+	qorder := na.pivots.OrderWith(&s.perm, query)
 	ms := na.opts.NumPivotSearch
 	t := na.opts.MinShared
 
-	// ScanCount merge: one counter per data point, zeroed per query
-	// (the paper's memset). Counts fit a byte because ms is capped at
-	// 255. The buffer is pooled across queries and may be longer than
-	// needed after Add; clear only the live prefix.
-	var counters []uint8
-	if buf, ok := na.counters.Get().(*[]uint8); ok && len(*buf) >= len(na.data) {
-		counters = (*buf)[:len(na.data)]
-		clear(counters)
-	} else {
-		counters = make([]uint8, len(na.data))
-	}
-	defer na.counters.Put(&counters)
-	var cands []uint32
+	// ScanCount merge: one counter per data point, logically zeroed per
+	// query by the arena's epoch bump (the paper's memset, made O(1)).
+	// Counts fit a byte because ms is capped at 255.
+	s.counters.Begin(len(na.data))
+	cands := s.cands[:0]
 	for _, p := range qorder[:ms] {
 		for _, id := range na.postings[p] {
-			counters[id]++
-			if int(counters[id]) == t {
+			if int(s.counters.Inc(id)) == t {
 				cands = append(cands, id)
 			}
 		}
@@ -195,16 +217,21 @@ func (na *NAPP[T]) Search(query T, k int) []topk.Neighbor {
 	}
 	if max := na.opts.MaxCandidates; max > 0 && len(cands) > max {
 		// Additional filtering for expensive distances: prefer
-		// candidates sharing more pivots with the query, then
-		// smaller ids for determinism.
-		sort.Slice(cands, func(i, j int) bool {
-			ci, cj := counters[cands[i]], counters[cands[j]]
-			if ci != cj {
-				return ci > cj
-			}
-			return cands[i] < cands[j]
-		})
-		cands = cands[:max]
+		// candidates sharing more pivots with the query, then smaller
+		// ids for determinism. Scoring by negated count turns that into
+		// the (Dist, ID) order of topk.SelectK, whose partial selection
+		// replaces the former full sort of all candidates.
+		sel := s.sel[:0]
+		for _, id := range cands {
+			sel = append(sel, topk.Neighbor{ID: id, Dist: -float64(s.counters.Count(id))})
+		}
+		s.sel = sel
+		best := topk.SelectK(sel, max)
+		cands = cands[:0]
+		for _, c := range best {
+			cands = append(cands, c.ID)
+		}
 	}
-	return refine(na.sp, na.data, query, cands, k)
+	s.cands = cands
+	return refineInto(na.sp, na.data, query, cands, k, &s.queue, dst)
 }

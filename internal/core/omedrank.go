@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/index"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -61,6 +62,22 @@ type OMEDRANK[T any] struct {
 	pivotIDs []int32
 	voters   []omedVoter
 	opts     OMEDRANKOptions
+	scratch  scratch.Pool[omedScratch]
+}
+
+// omedScratch is the per-query state of one OMEDRANK search. Quorum counts
+// use the byte-packed Counters arena when the voter count fits a byte (the
+// practical case — Fagin et al. use few voters — and one cache line per
+// touched id); the persisted format admits up to 2^15 voters, so wider
+// configurations fall back to the 32-bit Gains arena.
+type omedScratch struct {
+	counts     scratch.Counters
+	wideCounts scratch.Gains
+	lo         []int
+	hi         []int
+	qdist      []float64
+	cands      []uint32
+	queue      topk.Queue
 }
 
 // NewOMEDRANK samples voters and sorts the data by distance from each.
@@ -122,8 +139,27 @@ func (om *OMEDRANK[T]) Stats() index.Stats {
 
 // Search implements index.Index.
 func (om *OMEDRANK[T]) Search(query T, k int) []topk.Neighbor {
+	return om.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (om *OMEDRANK[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := om.scratch.Get()
+	defer om.scratch.Put(s)
+	return om.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (om *OMEDRANK[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, omedScratch]{fn: om.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (om *OMEDRANK[T]) search(s *omedScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	n := len(om.data)
 	h := len(om.voters)
@@ -135,16 +171,25 @@ func (om *OMEDRANK[T]) Search(query T, k int) []topk.Neighbor {
 
 	// Two cursors per voter, starting at the query's position in the
 	// voter's sorted order and moving outward.
-	lo := make([]int, h)
-	hi := make([]int, h)
-	qdist := make([]float64, h)
+	lo := scratch.Grow(s.lo, h)
+	hi := scratch.Grow(s.hi, h)
+	s.lo, s.hi = lo, hi
+	s.qdist = s.qdist[:0]
 	for v, voter := range om.voters {
-		qdist[v] = om.sp.Distance(query, om.pivots[v])
-		pos := sort.SearchFloat64s(voter.dists, qdist[v])
+		s.qdist = append(s.qdist, om.sp.Distance(query, om.pivots[v]))
+		pos := sort.SearchFloat64s(voter.dists, s.qdist[v])
 		lo[v], hi[v] = pos-1, pos
 	}
-	counts := make([]uint16, n)
-	var cands []uint32
+	qdist := s.qdist
+	// An id is counted at most once per voter, so counts stay <= h and the
+	// byte-packed arena is exact whenever h fits a byte.
+	narrow := h <= 255
+	if narrow {
+		s.counts.Begin(n)
+	} else {
+		s.wideCounts.Begin(n)
+	}
+	cands := s.cands[:0]
 	for len(cands) < g {
 		progressed := false
 		for v := range om.voters {
@@ -175,8 +220,14 @@ func (om *OMEDRANK[T]) Search(query T, k int) []topk.Neighbor {
 			}
 			progressed = true
 			id := voter.ids[pick]
-			counts[id]++
-			if int(counts[id]) == need {
+			var total int
+			if narrow {
+				total = int(s.counts.Inc(id))
+			} else {
+				t32, _ := s.wideCounts.Add(id, 1)
+				total = int(t32)
+			}
+			if total == need {
 				cands = append(cands, id)
 				if len(cands) >= g {
 					break
@@ -187,5 +238,6 @@ func (om *OMEDRANK[T]) Search(query T, k int) []topk.Neighbor {
 			break
 		}
 	}
-	return refine(om.sp, om.data, query, cands, k)
+	s.cands = cands
+	return refineInto(om.sp, om.data, query, cands, k, &s.queue, dst)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 	"repro/internal/vptree"
@@ -51,12 +52,23 @@ func (o *PermVPTreeOptions) defaults() {
 // VP-tree in the original space or slower than NAPP — reproduced in the
 // ablation benches.
 type PermVPTree[T any] struct {
-	sp     space.Space[T]
-	data   []T
-	pivots *permutation.Pivots[T]
-	perms  [][]int32
-	tree   *vptree.Tree[[]int32]
-	opts   PermVPTreeOptions
+	sp      space.Space[T]
+	data    []T
+	pivots  *permutation.Pivots[T]
+	perms   [][]int32
+	tree    *vptree.Tree[[]int32]
+	opts    PermVPTreeOptions
+	scratch scratch.Pool[pvtScratch]
+}
+
+// pvtScratch is the per-query state of one permutation-VP-tree search: the
+// query permutation buffers, the candidate id list, and the refine queue.
+// The embedded metric tree's own traversal still allocates per call; making
+// vptree scratch-aware is future work.
+type pvtScratch struct {
+	perm  permutation.Scratch
+	ids   []uint32
+	queue topk.Queue
 }
 
 // NewPermVPTree computes all permutations and builds a VP-tree over them.
@@ -105,15 +117,35 @@ func (pt *PermVPTree[T]) Stats() index.Stats {
 
 // Search implements index.Index.
 func (pt *PermVPTree[T]) Search(query T, k int) []topk.Neighbor {
+	return pt.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst, reusing
+// pooled scratch for the query permutation and the refine stage.
+func (pt *PermVPTree[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := pt.scratch.Get()
+	defer pt.scratch.Put(s)
+	return pt.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (pt *PermVPTree[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, pvtScratch]{fn: pt.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (pt *PermVPTree[T]) search(s *pvtScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	qperm := pt.pivots.Permutation(query, nil)
+	qperm := pt.pivots.PermutationWith(&s.perm, query)
 	g := gammaCount(pt.opts.Gamma, len(pt.data), k)
 	cands := pt.tree.Search(qperm, g)
-	ids := make([]uint32, len(cands))
-	for i, c := range cands {
-		ids[i] = c.ID
+	ids := s.ids[:0]
+	for _, c := range cands {
+		ids = append(ids, c.ID)
 	}
-	return refine(pt.sp, pt.data, query, ids, k)
+	s.ids = ids
+	return refineInto(pt.sp, pt.data, query, ids, k, &s.queue, dst)
 }

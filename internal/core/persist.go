@@ -475,8 +475,9 @@ func LoadOMEDRANK[T any](cr *codec.Reader, sp space.Space[T], data []T) (*OMEDRA
 	om.opts.Gamma = cr.F64()
 	om.opts.Seed = cr.I64()
 	voters := cr.Int()
-	// The search-time quorum counters are uint16, so the voter count must
-	// stay clear of overflow territory as well as match the pivot list.
+	// The search-time quorum counters are 32-bit (scratch.Gains), but the
+	// voter count must stay clear of absurd territory and match the pivot
+	// list; 2^15 keeps the historical on-disk bound.
 	if cr.Err() == nil && (voters <= 0 || voters != len(om.pivots) || voters > 1<<15 ||
 		om.opts.Quorum <= 0 || om.opts.Quorum > 1 || om.opts.Gamma <= 0) {
 		cr.Corruptf("inconsistent omedrank options (voters=%d, pivots=%d)", voters, len(om.pivots))

@@ -3,10 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/index"
 	"repro/internal/permutation"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -96,10 +97,23 @@ type ppTree[T any] struct {
 // candidates, the prefix is shortened (the paper's recursive fallback).
 // Multiple tree copies with independent pivot samples are unioned.
 type PPIndex[T any] struct {
-	sp    space.Space[T]
-	data  []T
-	trees []ppTree[T]
-	opts  PPIndexOptions
+	sp      space.Space[T]
+	data    []T
+	trees   []ppTree[T]
+	opts    PPIndexOptions
+	scratch scratch.Pool[ppScratch]
+}
+
+// ppScratch is the per-query state of one PP-index search. seen is an
+// epoch-stamped arena standing in for the former per-query map dedup across
+// tree copies (first increment == first sighting).
+type ppScratch struct {
+	perm  permutation.Scratch
+	seen  scratch.Counters
+	path  []*ppNode
+	sub   []uint32
+	ids   []uint32
+	queue topk.Queue
 }
 
 // NewPPIndex builds Copies prefix trees over independent pivot samples.
@@ -162,43 +176,64 @@ func (pp *PPIndex[T]) Stats() index.Stats {
 
 // Search implements index.Index.
 func (pp *PPIndex[T]) Search(query T, k int) []topk.Neighbor {
+	return pp.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (pp *PPIndex[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	s := pp.scratch.Get()
+	defer pp.scratch.Put(s)
+	return pp.search(s, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider.
+func (pp *PPIndex[T]) NewSearcher() index.Searcher[T] {
+	return &searcher[T, ppScratch]{fn: pp.search}
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (pp *PPIndex[T]) search(s *ppScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
 	g := gammaCount(pp.opts.Gamma, len(pp.data), k)
-	seen := make(map[uint32]struct{})
-	var ids []uint32
-	for _, tree := range pp.trees {
-		qorder := tree.pivots.Order(query, nil)
+	s.seen.Begin(len(pp.data))
+	ids := s.ids[:0]
+	for ti := range pp.trees {
+		tree := &pp.trees[ti]
+		qorder := tree.pivots.OrderWith(&s.perm, query)
 		prefix := qorder[:pp.opts.PrefixLen]
 		// Walk down recording the path, then pick the deepest node
 		// whose subtree is big enough.
-		path := []*ppNode{tree.root}
+		s.path = append(s.path[:0], tree.root)
 		node := tree.root
 		for _, p := range prefix {
 			node = node.child(p, false)
 			if node == nil {
 				break
 			}
-			path = append(path, node)
+			s.path = append(s.path, node)
 		}
-		pick := path[0]
-		for i := len(path) - 1; i >= 0; i-- {
-			if path[i].count >= g {
-				pick = path[i]
+		pick := s.path[0]
+		for i := len(s.path) - 1; i >= 0; i-- {
+			if s.path[i].count >= g {
+				pick = s.path[i]
 				break
 			}
 		}
-		for _, id := range pick.collect(nil) {
-			if _, dup := seen[id]; !dup {
-				seen[id] = struct{}{}
+		s.sub = pick.collect(s.sub[:0])
+		for _, id := range s.sub {
+			if s.seen.Inc(id) == 1 {
 				ids = append(ids, id)
 			}
 		}
 	}
+	s.ids = ids
 	// collect walks child maps, so the candidate order above is not
 	// deterministic; sort before refining so ties at the k boundary are
 	// always broken the same way (smallest id wins, matching topk.ByDist).
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return refine(pp.sp, pp.data, query, ids, k)
+	slices.Sort(ids)
+	return refineInto(pp.sp, pp.data, query, ids, k, &s.queue, dst)
 }

@@ -192,11 +192,32 @@ func SearchBatch[T any](idx index.Index[T], queries []T, k int) [][]topk.Neighbo
 //
 // A Search that panics cancels the rest of the batch and re-panics on the
 // caller (see Pool.For), exactly as a serial loop would fail.
+//
+// Indexes implementing index.SearcherProvider get per-worker scratch
+// ownership: each worker mints one Searcher lazily and answers all its
+// queries through it, so the batch reuses one counter arena and buffer set
+// per worker instead of cycling the index's scratch pool once per query.
+// Searchers are defined to answer exactly like Search, so the serial-loop
+// contract above is unchanged.
 func SearchBatchPool[T any](p Pool, idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
 	if b, ok := idx.(index.Batcher[T]); ok {
 		return b.SearchBatch(queries, k, p.Workers())
 	}
 	out := make([][]topk.Neighbor, len(queries))
+	if sp, ok := idx.(index.SearcherProvider[T]); ok {
+		// Slots are indexed by worker id; each is touched by exactly one
+		// worker goroutine (ForWithID's contract), so no locking.
+		searchers := make([]index.Searcher[T], p.clamp(len(queries)))
+		p.ForWithID(len(queries), func(worker, i int) {
+			s := searchers[worker]
+			if s == nil {
+				s = sp.NewSearcher()
+				searchers[worker] = s
+			}
+			out[i] = s.Search(queries[i], k)
+		})
+		return out
+	}
 	p.ForDynamic(len(queries), func(i int) {
 		out[i] = idx.Search(queries[i], k)
 	})

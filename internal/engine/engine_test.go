@@ -297,6 +297,42 @@ func TestSearchBatchSWGraphCounterState(t *testing.T) {
 	}
 }
 
+// countingProvider wraps an index that mints searchers, counting how many
+// the batch engine actually creates.
+type countingProvider struct {
+	index.Index[[]float32]
+	mints atomic.Int32
+}
+
+func (p *countingProvider) NewSearcher() index.Searcher[[]float32] {
+	p.mints.Add(1)
+	return p.Index.(index.SearcherProvider[[]float32]).NewSearcher()
+}
+
+// TestSearchBatchUsesPerWorkerSearchers verifies the scratch-ownership
+// contract of the batch engine: an index.SearcherProvider is queried through
+// at most one Searcher per worker (buffer reuse across a worker's queries),
+// never one per query, and the answers still match the serial loop exactly.
+func TestSearchBatchUsesPerWorkerSearchers(t *testing.T) {
+	db, queries := batchData(t, 300, 25)
+	na, err := core.NewNAPP[[]float32](space.L2{}, db, core.NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, MinShared: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	wrapped := &countingProvider{Index: na}
+	want := serialLoop[[]float32](na, queries, 10)
+	got := engine.SearchBatchPool(engine.NewPool(workers), wrapped, queries, 10)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("searcher-path batch differs from serial loop")
+	}
+	if m := wrapped.mints.Load(); m < 1 || m > workers {
+		t.Fatalf("batch minted %d searchers for %d workers, want 1..%d", m, workers, workers)
+	}
+}
+
 func TestSearchBatchDispatchesToBatcher(t *testing.T) {
 	db, queries := batchData(t, 100, 5)
 	g, err := knngraph.NewSW[[]float32](space.L2{}, db, knngraph.Options{NN: 8, Workers: 1, Seed: 5})

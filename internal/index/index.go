@@ -20,6 +20,31 @@ type Index[T any] interface {
 	Name() string
 }
 
+// Searcher is a single-goroutine query handle over an index: it answers the
+// same queries as the index's Search but owns its per-query scratch state
+// (counter arenas, candidate buffers, top-k queues) exclusively, so a
+// worker issuing many queries through one Searcher reuses one set of
+// buffers instead of cycling a pool entry per query. The batch engine keeps
+// one Searcher per worker; serving loops may hold one per goroutine.
+//
+// A Searcher must return results identical to the parent index's Search. It
+// must NOT be shared between goroutines. SearchAppend appends the results
+// to dst and returns the extended slice — with a dst of sufficient capacity
+// a warm SearchAppend performs zero allocations (the returned neighbors are
+// the only memory Search hands to the caller); Search is SearchAppend(nil,
+// ...) and costs exactly the one result-slice allocation.
+type Searcher[T any] interface {
+	Search(query T, k int) []topk.Neighbor
+	SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor
+}
+
+// SearcherProvider is implemented by indexes that can mint Searchers.
+// NewSearcher is safe to call concurrently; each returned Searcher is
+// independent.
+type SearcherProvider[T any] interface {
+	NewSearcher() Searcher[T]
+}
+
 // Batcher is implemented by indexes that need to cooperate with the batch
 // query engine (internal/engine) to keep a concurrent batch identical to a
 // serial query loop — typically because Search consumes shared mutable

@@ -104,6 +104,36 @@ func Conformance[T any](t *testing.T, sp space.Space[T], data []T, queries []T, 
 		}
 	})
 
+	t.Run("searcher-matches-search", func(t *testing.T) {
+		// Indexes that mint per-worker searchers (index.SearcherProvider)
+		// must answer identically through them — both the plain Search
+		// entry point and the appending zero-allocation one, including
+		// when dst already carries earlier results that must survive.
+		idx, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, ok := any(idx).(index.SearcherProvider[T])
+		if !ok {
+			t.Skip("index does not provide searchers")
+		}
+		searcher := sp.NewSearcher()
+		const k = 10
+		sentinel := topk.Neighbor{ID: ^uint32(0), Dist: -1}
+		dst := make([]topk.Neighbor, 0, 64)
+		for qi, q := range queries {
+			want := idx.Search(q, k)
+			got := searcher.Search(q, k)
+			diffResults(t, want, got, fmt.Sprintf("searcher query %d", qi))
+			dst = append(dst[:0], sentinel)
+			dst = searcher.SearchAppend(dst, q, k)
+			if len(dst) == 0 || dst[0] != sentinel {
+				t.Fatalf("query %d: SearchAppend clobbered existing dst contents", qi)
+			}
+			diffResults(t, want, dst[1:], fmt.Sprintf("search-append query %d", qi))
+		}
+	})
+
 	t.Run("concurrent-search", func(t *testing.T) {
 		// No assertions on answers — the property is the absence of data
 		// races (the CI race job runs this package under -race) and

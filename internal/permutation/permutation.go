@@ -19,7 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/space"
 )
@@ -115,30 +115,72 @@ func (p *Pivots[T]) Distances(x T, dst []float64) []float64 {
 
 // Order computes the pivot order induced by x: dst[r] is the index of the
 // (r+1)-th closest pivot. dst may be nil; the filled slice is returned.
+// The intermediate distance buffer is allocated per call; hot paths use
+// OrderWith with a reusable Scratch instead.
 func (p *Pivots[T]) Order(x T, dst []int32) []int32 {
 	dists := p.Distances(x, nil)
 	return orderOf(dists, dst)
 }
 
 // Permutation computes the permutation induced by x: dst[i] is the 0-based
-// rank of pivot i. dst may be nil; the filled slice is returned.
+// rank of pivot i. dst may be nil; the filled slice is returned. Hot paths
+// use PermutationWith with a reusable Scratch instead.
 func (p *Pivots[T]) Permutation(x T, dst []int32) []int32 {
 	order := p.Order(x, nil)
 	return invert(order, dst)
 }
 
-// orderOf argsorts dists by (distance, index).
+// Scratch holds the per-query buffers of one goroutine's permutation
+// computations: the pivot-distance vector plus the derived order and
+// permutation. After the first few queries have grown the buffers to the
+// pivot count, OrderWith and PermutationWith stop allocating entirely.
+//
+// A Scratch is single-goroutine state; the slices it hands out are
+// invalidated by the next call on the same Scratch.
+type Scratch struct {
+	Dists []float64
+	Order []int32
+	Perm  []int32
+}
+
+// OrderWith computes the pivot order of x into s.Order (also returned),
+// reusing s.Dists for the distance computation. Allocation-free once s has
+// warmed up.
+func (p *Pivots[T]) OrderWith(s *Scratch, x T) []int32 {
+	s.Dists = p.Distances(x, s.Dists)
+	s.Order = orderOf(s.Dists, s.Order)
+	return s.Order
+}
+
+// PermutationWith computes the permutation of x into s.Perm (also
+// returned), reusing s.Dists and s.Order. Allocation-free once s has warmed
+// up.
+func (p *Pivots[T]) PermutationWith(s *Scratch, x T) []int32 {
+	s.Perm = invert(p.OrderWith(s, x), s.Perm)
+	return s.Perm
+}
+
+// orderOf argsorts dists by (distance, index). The generic slices sort keeps
+// it allocation-free when dst already has capacity.
 func orderOf(dists []float64, dst []int32) []int32 {
 	dst = dst[:0]
 	for i := range dists {
 		dst = append(dst, int32(i))
 	}
-	sort.Slice(dst, func(a, b int) bool {
-		da, db := dists[dst[a]], dists[dst[b]]
-		if da != db {
-			return da < db
+	slices.SortFunc(dst, func(a, b int32) int {
+		da, db := dists[a], dists[b]
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
 		}
-		return dst[a] < dst[b]
 	})
 	return dst
 }

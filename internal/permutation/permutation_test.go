@@ -378,3 +378,31 @@ func BenchmarkHamming256(b *testing.B) {
 		Hamming(x, y)
 	}
 }
+
+// TestScratchEntryPointsMatchAllocating verifies OrderWith/PermutationWith
+// return exactly what the allocating Order/Permutation return, and that a
+// warm Scratch makes them allocation-free.
+func TestScratchEntryPointsMatchAllocating(t *testing.T) {
+	pivots, a, b, c, d := figure1()
+	var s Scratch
+	for _, x := range [][]float32{a, b, c, d} {
+		wantOrder := pivots.Order(x, nil)
+		if got := pivots.OrderWith(&s, x); !eq32(got, wantOrder) {
+			t.Fatalf("OrderWith = %v, want %v", got, wantOrder)
+		}
+		wantPerm := pivots.Permutation(x, nil)
+		if got := pivots.PermutationWith(&s, x); !eq32(got, wantPerm) {
+			t.Fatalf("PermutationWith = %v, want %v", got, wantPerm)
+		}
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		pivots.PermutationWith(&s, a)
+	}); avg != 0 {
+		t.Errorf("warm PermutationWith allocates %v times per run", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		pivots.OrderWith(&s, b)
+	}); avg != 0 {
+		t.Errorf("warm OrderWith allocates %v times per run", avg)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"runtime"
 	"time"
 
 	"repro/internal/engine"
@@ -166,6 +167,44 @@ type indexInfo struct {
 	Seed    int64  `json:"seed"`
 }
 
+// runtimeStatus is the Go runtime memory/GC section of GET /statusz: the
+// observables that tell whether the allocation-free search hot path is
+// holding up under live traffic (allocation rate, GC cadence, GC CPU). All
+// byte counts come from one runtime.ReadMemStats snapshot.
+type runtimeStatus struct {
+	Goroutines      int     `json:"goroutines"`
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64  `json:"heap_sys_bytes"`
+	HeapObjects     uint64  `json:"heap_objects"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"` // cumulative since process start
+	Mallocs         uint64  `json:"mallocs"`           // cumulative allocation count
+	Frees           uint64  `json:"frees"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalMs  float64 `json:"gc_pause_total_ms"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
+	NextGCBytes     uint64  `json:"next_gc_bytes"`
+}
+
+// readRuntimeStatus snapshots the runtime counters. ReadMemStats stops the
+// world for microseconds; fine at statusz polling rates.
+func readRuntimeStatus() runtimeStatus {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeStatus{
+		Goroutines:      runtime.NumGoroutine(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		HeapObjects:     ms.HeapObjects,
+		TotalAllocBytes: ms.TotalAlloc,
+		Mallocs:         ms.Mallocs,
+		Frees:           ms.Frees,
+		NumGC:           ms.NumGC,
+		GCPauseTotalMs:  float64(ms.PauseTotalNs) / 1e6,
+		GCCPUFraction:   ms.GCCPUFraction,
+		NextGCBytes:     ms.NextGC,
+	}
+}
+
 // indexStatus is one row of GET /statusz.
 type indexStatus struct {
 	Name          string  `json:"name"`
@@ -223,6 +262,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": uptime.Seconds(),
+		"runtime":  readRuntimeStatus(),
 		"indexes":  rows,
 	})
 }

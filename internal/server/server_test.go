@@ -590,10 +590,19 @@ func TestStatusz(t *testing.T) {
 	defer resp.Body.Close()
 	var status struct {
 		UptimeS float64       `json:"uptime_s"`
+		Runtime runtimeStatus `json:"runtime"`
 		Indexes []indexStatus `json:"indexes"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
 		t.Fatal(err)
+	}
+	// The runtime section must carry live Go memory/GC observables — the
+	// serving-side view of the allocation-free hot path.
+	if status.Runtime.Goroutines <= 0 {
+		t.Fatalf("runtime.goroutines = %d", status.Runtime.Goroutines)
+	}
+	if status.Runtime.HeapAllocBytes == 0 || status.Runtime.Mallocs == 0 {
+		t.Fatalf("runtime memory counters empty: %+v", status.Runtime)
 	}
 	var row *indexStatus
 	for i := range status.Indexes {

@@ -8,7 +8,7 @@
 // can be re-verified (see BenchmarkAblation_IncSortVsHeap).
 package topk
 
-import "sort"
+import "slices"
 
 // Neighbor is a candidate answer: a data-point identifier and its distance
 // from the query. Smaller distances are better.
@@ -18,13 +18,23 @@ type Neighbor struct {
 }
 
 // ByDist sorts a slice of neighbors by increasing distance, breaking ties by
-// increasing ID so results are deterministic.
+// increasing ID so results are deterministic. It does not allocate (the
+// generic slices sort avoids the interface boxing of sort.Slice), keeping it
+// usable on the zero-allocation search hot path.
 func ByDist(ns []Neighbor) {
-	sort.Slice(ns, func(i, j int) bool {
-		if ns[i].Dist != ns[j].Dist {
-			return ns[i].Dist < ns[j].Dist
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
 		}
-		return ns[i].ID < ns[j].ID
 	})
 }
 
@@ -45,6 +55,19 @@ func NewQueue(k int) *Queue {
 		panic("topk: k must be positive")
 	}
 	return &Queue{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Reset readies the queue for a new query retaining k nearest neighbors,
+// reusing the backing array. It is the reuse entry point of the search hot
+// path: a scratch-held queue cycles Reset / Push / AppendResults without
+// allocating once its array has grown to the largest k seen. It panics if
+// k <= 0.
+func (q *Queue) Reset(k int) {
+	if k <= 0 {
+		panic("topk: k must be positive")
+	}
+	q.k = k
+	q.heap = q.heap[:0]
 }
 
 // Len reports how many neighbors are currently held.
@@ -106,11 +129,19 @@ func (q *Queue) PopWorst() Neighbor {
 // Results drains the queue and returns its contents ordered by increasing
 // distance. The queue is empty afterwards.
 func (q *Queue) Results() []Neighbor {
-	out := make([]Neighbor, len(q.heap))
-	copy(out, q.heap)
+	return q.AppendResults(nil)
+}
+
+// AppendResults drains the queue, appending its contents to dst ordered by
+// increasing distance (ties by increasing ID), and returns the extended
+// slice. With a dst of sufficient capacity it does not allocate; the queue
+// is empty afterwards and ready for Reset.
+func (q *Queue) AppendResults(dst []Neighbor) []Neighbor {
+	start := len(dst)
+	dst = append(dst, q.heap...)
 	q.heap = q.heap[:0]
-	ByDist(out)
-	return out
+	ByDist(dst[start:])
+	return dst
 }
 
 func (q *Queue) siftUp(i int) {
@@ -216,6 +247,10 @@ func (q *MinQueue) Reset() { q.heap = q.heap[:0] }
 //
 // If k >= len(ns) the whole slice is sorted. The (possibly trimmed) prefix is
 // returned.
+//
+// SelectK works in place and does not allocate, so callers on the hot path
+// reuse one scratch candidate slice across queries: truncate, refill, call
+// SelectK again.
 func SelectK(ns []Neighbor, k int) []Neighbor {
 	if k >= len(ns) {
 		ByDist(ns)

@@ -254,3 +254,85 @@ func BenchmarkSelectKHeap(b *testing.B) {
 		SelectKHeap(ns, 100)
 	}
 }
+
+func TestQueueResetReuse(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	q := NewQueue(5)
+	for round := 0; round < 4; round++ {
+		k := 3 + round // vary k across rounds; the queue must follow
+		q.Reset(k)
+		if q.K() != k || q.Len() != 0 {
+			t.Fatalf("round %d: after Reset, K=%d Len=%d, want K=%d Len=0", round, q.K(), q.Len(), k)
+		}
+		ns := randNeighbors(r, 50)
+		for _, x := range ns {
+			q.Push(x.ID, x.Dist)
+		}
+		got := q.Results()
+		want := append([]Neighbor(nil), ns...)
+		want = SelectK(want, k)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: got %d results, want %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: result %d = %+v, want %+v", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueueAppendResults(t *testing.T) {
+	q := NewQueue(3)
+	q.Push(4, 4.0)
+	q.Push(2, 2.0)
+	q.Push(9, 9.0)
+	q.Push(1, 1.0) // evicts 9
+	sentinel := Neighbor{ID: 77, Dist: -7}
+	dst := []Neighbor{sentinel}
+	dst = q.AppendResults(dst)
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: Len=%d", q.Len())
+	}
+	want := []Neighbor{sentinel, {ID: 1, Dist: 1}, {ID: 2, Dist: 2}, {ID: 4, Dist: 4}}
+	if len(dst) != len(want) {
+		t.Fatalf("got %d results, want %d", len(dst), len(want))
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("result %d = %+v, want %+v", i, dst[i], want[i])
+		}
+	}
+}
+
+// TestHotPathPrimitivesDoNotAllocate guards the allocation-freedom of the
+// primitives every Search hot path leans on: ByDist, SelectK, and a warm
+// Reset/Push/AppendResults queue cycle.
+func TestHotPathPrimitivesDoNotAllocate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	ns := randNeighbors(r, 2000)
+	buf := make([]Neighbor, len(ns))
+	if avg := testing.AllocsPerRun(20, func() {
+		copy(buf, ns)
+		ByDist(buf)
+	}); avg != 0 {
+		t.Errorf("ByDist allocates %v times per run", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		copy(buf, ns)
+		SelectK(buf, 50)
+	}); avg != 0 {
+		t.Errorf("SelectK allocates %v times per run", avg)
+	}
+	q := NewQueue(10)
+	dst := make([]Neighbor, 0, 16)
+	if avg := testing.AllocsPerRun(20, func() {
+		q.Reset(10)
+		for _, x := range ns[:200] {
+			q.Push(x.ID, x.Dist)
+		}
+		dst = q.AppendResults(dst[:0])
+	}); avg != 0 {
+		t.Errorf("queue Reset/Push/AppendResults cycle allocates %v times per run", avg)
+	}
+}

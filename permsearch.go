@@ -83,6 +83,13 @@ type (
 	Neighbor = topk.Neighbor
 	// Index is the interface satisfied by every search structure here.
 	Index[T any] = index.Index[T]
+	// Searcher is a single-goroutine query handle owning reusable scratch:
+	// its SearchAppend answers with zero steady-state allocations when the
+	// caller recycles the result buffer. Mint one per worker goroutine via
+	// SearcherProvider (every permutation index implements it).
+	Searcher[T any] = index.Searcher[T]
+	// SearcherProvider is implemented by indexes that can mint Searchers.
+	SearcherProvider[T any] = index.SearcherProvider[T]
 	// Space is a (possibly non-metric) dissimilarity over T.
 	Space[T any] = space.Space[T]
 	// Properties reports which distance axioms a space satisfies.

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the query hot-path microbenchmarks and emit one
+# machine-readable point of the performance trajectory.
+#
+# Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
+#
+# Runs BenchmarkSearchHot (internal/core) with -benchmem and converts the
+# output into a JSON document holding, per method: ns/op, B/op, allocs/op
+# and the implied single-thread QPS. Successive PRs commit successive
+# BENCH_<PR>.json files, so the allocation and latency history of the hot
+# path stays reviewable in-repo. CI runs a short non-gating pass (see
+# `make bench-smoke`) to keep the harness from rotting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+benchtime="${2:-1s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench BenchmarkSearchHot -benchmem -benchtime "$benchtime" ./internal/core/ | tee "$raw"
+
+awk -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '
+  /^goos:/   { goos = $2 }
+  /^goarch:/ { goarch = $2 }
+  /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+  /^BenchmarkSearchHot\// {
+    name = $1
+    sub(/^BenchmarkSearchHot\//, "", name)
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    ns = $3; bytes = $5; allocs = $7
+    qps = ns > 0 ? 1e9 / ns : 0
+    row = sprintf("    {\"method\": \"%s\", \"ns_per_op\": %.0f, \"bytes_per_op\": %.0f, \"allocs_per_op\": %.0f, \"qps\": %.1f}",
+                  name, ns, bytes, allocs, qps)
+    rows = rows (rows == "" ? "" : ",\n") row
+    nrows++
+  }
+  END {
+    if (nrows == 0) { print "bench.sh: no benchmark rows parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"schema\": \"permsearch-bench/v1\",\n"
+    printf "  \"bench\": \"BenchmarkSearchHot\",\n"
+    printf "  \"timestamp\": \"%s\",\n", now
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"results\": [\n%s\n  ]\n}\n", rows
+  }
+' "$raw" > "$out"
+
+echo "bench.sh: wrote $out ($(grep -c '"method"' "$out") methods)"

@@ -12,7 +12,7 @@ PID=
 trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
 
 "$BIN" -write-demo -dir "$TMP/idx"
-"$BIN" -dir "$TMP/idx" -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+"$BIN" -dir "$TMP/idx" -addr 127.0.0.1:0 -pprof-addr 127.0.0.1:0 >"$LOG" 2>&1 &
 PID=$!
 
 fail() {
@@ -42,7 +42,15 @@ RESULT=$(curl -sf -d '{"query": "ACGTACGTAC", "k": 3}' \
 echo "$RESULT" | grep -q '"results":\[{"id":' || fail "search returned no neighbors: $RESULT"
 
 curl -sf -XPOST "http://$ADDR/v1/indexes/dna-vptree/reload" >/dev/null || fail "hot reload failed"
-curl -sf "http://$ADDR/statusz" | grep -q '"requests":1' || fail "statusz did not count the search"
+STATUSZ=$(curl -sf "http://$ADDR/statusz") || fail "statusz request failed"
+echo "$STATUSZ" | grep -q '"requests":1' || fail "statusz did not count the search"
+echo "$STATUSZ" | grep -q '"heap_alloc_bytes":' || fail "statusz missing runtime memory counters"
+
+# The -pprof-addr sidecar must serve profiles on its own port.
+PPROF_ADDR=$(sed -n 's#.*pprof on http://\([0-9.:]*\)/.*#\1#p' "$LOG" | head -n1)
+[ -n "$PPROF_ADDR" ] || fail "daemon never logged its pprof address"
+curl -sf "http://$PPROF_ADDR/debug/pprof/heap?debug=1" | grep -q 'HeapAlloc' \
+    || fail "pprof heap profile not served"
 
 kill "$PID"
 STATUS=0
