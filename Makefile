@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-engine bench-smoke vet fmt check fuzz serve-smoke ci
+.PHONY: build test race bench bench-engine bench-smoke vet fmt check fuzz serve-smoke shard-smoke ci
 
 build:
 	$(GO) build ./...
@@ -27,10 +27,11 @@ test:
 # Race-check the concurrency-heavy packages: the batch query engine, the
 # SW/NN-descent graph construction goroutines, the cross-index conformance
 # suite (whose concurrent-Search property puts every index kind under
-# simultaneous queries), and the serving layer (concurrent clients +
-# hot-reload hammering).
+# simultaneous queries), the serving layer (concurrent clients + hot-reload
+# hammering), and the scatter-gather router (per-query shard fan-out +
+# hedged HTTP attempts).
 race:
-	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/server/...
+	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/server/... ./internal/router/...
 
 # Short coverage-guided fuzz of the index-file decoder: corrupt blobs must
 # error, never panic or over-allocate. The checked-in seed corpus lives in
@@ -40,9 +41,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 30s ./internal/codec/
 
 # Query hot-path microbenchmarks (-benchmem) + the machine-readable
-# BENCH_PR4.json trajectory point (per method: ns/op, B/op, allocs/op, QPS).
+# BENCH_PR5.json trajectory point (per method: ns/op, B/op, allocs/op, QPS;
+# napp-sharded3 tracks the scatter-gather router against unsharded napp).
+# Override the output with BENCH_OUT=path.
 bench:
-	./scripts/bench.sh BENCH_PR4.json
+	./scripts/bench.sh
 
 # Fast non-gating CI pass over the same harness: proves the benchmarks
 # still compile/run and the JSON emitter still parses their output.
@@ -62,4 +65,14 @@ serve-smoke:
 	$(GO) build -o bin/permserve ./cmd/permserve
 	./scripts/serve_smoke.sh bin/permserve
 
-ci: check build test race fuzz serve-smoke
+# End-to-end smoke of the sharded tier: shardsplit a corpus, boot one
+# permserve per shard plus an unsharded baseline, front them with
+# permrouter, and require byte-identical answers, fail-open/fail-closed
+# degradation when a shard dies, and a graceful shutdown.
+shard-smoke:
+	$(GO) build -o bin/permserve ./cmd/permserve
+	$(GO) build -o bin/permrouter ./cmd/permrouter
+	$(GO) build -o bin/shardsplit ./cmd/shardsplit
+	./scripts/shard_smoke.sh bin
+
+ci: check build test race fuzz serve-smoke shard-smoke

@@ -39,11 +39,13 @@ func main() {
 	workers := flag.Int("workers", 1, "goroutines running evaluation queries (1 = the paper's single-thread protocol, -1 = GOMAXPROCS); results are identical, only throughput changes")
 	saveIndex := flag.String("save-index", "", "directory to persist every built index into (internal/codec format)")
 	loadIndex := flag.String("load-index", "", "directory to warm-start indexes from, skipping construction when a matching file exists (same seed/n/folds required)")
+	shards := flag.Int("shards", 1, "evaluate through an in-process scatter-gather router over this many shard indexes (the sharded serving topology, without the sockets); 1 = unsharded")
+	shardBy := flag.String("shard-by", "hash", "shard partitioner: hash or round-robin")
 	list := flag.Bool("list", false, "list data sets and their methods, then exit")
 	flag.Parse()
 
 	cfg := experiments.Config{N: *n, Queries: *queries, Folds: *folds, K: *k, Seed: *seed, Workers: *workers,
-		SaveIndexDir: *saveIndex, LoadIndexDir: *loadIndex}
+		SaveIndexDir: *saveIndex, LoadIndexDir: *loadIndex, Shards: *shards, ShardBy: *shardBy}
 	if *list {
 		for _, name := range experiments.Names() {
 			r, _ := experiments.Get(name)

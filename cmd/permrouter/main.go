@@ -1,0 +1,105 @@
+// Command permrouter is the scatter-gather front tier of the sharded
+// serving stack: it fans every k-NN query out to a fleet of permserve
+// shard processes and merges the per-shard top-k answers, speaking exactly
+// the serving daemon's HTTP dialect — to a client, a router over S shards
+// looks like one big permserve (see internal/router for the identity
+// guarantees).
+//
+// Usage:
+//
+//	shardsplit -out idx/ -set dna -dataset dna -n 2000 -shards 2
+//	permserve -dir idx/shard0 -addr 127.0.0.1:8081 &
+//	permserve -dir idx/shard1 -addr 127.0.0.1:8082 &
+//	permrouter -shards http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
+//
+//	curl localhost:8080/healthz            # ready only when every shard is
+//	curl localhost:8080/statusz            # per-shard QPS/latency/error/hedge counters
+//	curl localhost:8080/v1/indexes         # merged view (total n, per-shard generations)
+//	curl -d '{"query": "ACGTACGTAC", "k": 3}' localhost:8080/v1/indexes/dna/search
+//
+// Shard order matters: -shards lists backend i as shard i, and startup
+// refuses a topology whose shard stamps contradict the wiring. When a
+// shard is down, -fail-open answers from the survivors with "partial":
+// true; the default fails closed with 502. -hedge-delay duplicates a
+// laggard's request after the given delay (tail-latency insurance).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	shards := flag.String("shards", "", "comma-separated shard base URLs, in shard order (required)")
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the bound address is logged)")
+	failOpen := flag.Bool("fail-open", false, "answer from surviving shards (with \"partial\": true) when a shard is down, instead of 502")
+	shardTimeout := flag.Duration("shard-timeout", 10*time.Second, "per-shard request budget")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "duplicate a shard request that has not answered within this delay (0: disabled)")
+	flag.Parse()
+
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	if *shards == "" {
+		fmt.Fprintln(os.Stderr, "permrouter: -shards is required (e.g. -shards http://h1:8081,http://h2:8082)")
+		os.Exit(2)
+	}
+	var urls []string
+	for _, u := range strings.Split(*shards, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+
+	rt, err := router.New(router.Options{
+		Shards:       urls,
+		FailOpen:     *failOpen,
+		ShardTimeout: *shardTimeout,
+		HedgeDelay:   *hedgeDelay,
+	})
+	if err != nil {
+		log.Fatalf("permrouter: %v", err)
+	}
+	mode := "fail-closed"
+	if *failOpen {
+		mode = "fail-open"
+	}
+	log.Printf("permrouter: routing %d indexes over %d shards (%s)", len(rt.Names()), len(urls), mode)
+	for _, name := range rt.Names() {
+		log.Printf("permrouter: routing index %q", name)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("permrouter: %v", err)
+	}
+	log.Printf("permrouter: listening on http://%s (%d shards)", ln.Addr(), len(urls))
+
+	hs := &http.Server{Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("permrouter: shutting down (in-flight requests get 10s to finish)")
+		shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			log.Fatalf("permrouter: shutdown: %v", err)
+		}
+		log.Printf("permrouter: bye")
+	case err := <-errCh:
+		log.Fatalf("permrouter: %v", err)
+	}
+}

@@ -9,9 +9,11 @@
 // evaluation protocol is single-threaded, so every concurrent path must be
 // an explicit opt-in that leaves the serial semantics intact: SearchBatch is
 // defined to return exactly what a serial Search loop would return, in the
-// same order. Second, the ROADMAP's serving ambitions (sharding, batching,
-// async) all build on the same fan-out/fan-in shape; one audited
-// implementation beats N ad-hoc WaitGroups.
+// same order. Second, the serving stack builds on the same fan-out/fan-in
+// shape — the HTTP daemon's batch requests run through SearchBatchPool, and
+// the sharded tier's scatter-gather (internal/router.Local) fans each query
+// across shard indexes on a Pool — so one audited implementation beats N
+// ad-hoc WaitGroups.
 package engine
 
 import (

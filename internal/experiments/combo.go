@@ -11,11 +11,14 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/index"
 	"repro/internal/permutation"
 	"repro/internal/persist"
+	"repro/internal/router"
 	"repro/internal/seqscan"
+	"repro/internal/shard"
 	"repro/internal/space"
 	"repro/internal/topk"
 	"repro/internal/vecmath"
@@ -360,10 +363,44 @@ func (c *combo[T]) Methods(cfg Config) []string {
 	return out
 }
 
+// shardedBuild partitions db, builds one index per shard with build, and
+// wraps them in a router.Local — the in-process mirror of the
+// permserve/permrouter serving topology. The Local's scatter pool follows
+// cfg.Workers like every other parallel path.
+func shardedBuild[T any](cfg Config, sp space.Space[T], db []T,
+	build func(space.Space[T], []T) (index.Index[T], error)) (*router.Local[T], []index.Index[T], error) {
+	p := shard.Hash
+	if cfg.ShardBy != "" {
+		var err error
+		if p, err = shard.ParsePartitioner(cfg.ShardBy); err != nil {
+			return nil, nil, err
+		}
+	}
+	ids, err := shard.IDs(p, len(db), cfg.Shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	shards := make([]router.LocalShard[T], cfg.Shards)
+	idxs := make([]index.Index[T], cfg.Shards)
+	for s := range ids {
+		idx, err := build(sp, shard.Subset(db, ids[s]))
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard %d/%d: %w", s, cfg.Shards, err)
+		}
+		shards[s] = router.LocalShard[T]{Index: idx, IDs: ids[s]}
+		idxs[s] = idx
+	}
+	loc, err := router.NewLocal(shards, engine.NewPool(cfg.Workers))
+	return loc, idxs, err
+}
+
 // RunMethods implements Runner: like Figure4 but restricted to the named
 // methods (nil means all).
 func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 	cfg = cfg.withDefaults()
+	if cfg.Shards > 1 && (cfg.SaveIndexDir != "" || cfg.LoadIndexDir != "") {
+		return fmt.Errorf("sharded evaluation (-shards %d) does not support -save-index/-load-index; shard indexes are built per run", cfg.Shards)
+	}
 	wanted := func(m string) bool {
 		if len(methods) == 0 {
 			return true
@@ -397,8 +434,19 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 			// Warm start: load the persisted index when a matching file
 			// exists, otherwise build (and optionally persist for the
 			// next run). The timing column reports whichever happened.
+			// Sharded runs build one index per shard behind a
+			// scatter-gather Local; build time covers the whole set.
 			loaded := false
+			var shardIdxs []index.Index[T]
 			idx, buildTime, err := eval.MeasureBuild(func() (index.Index[T], error) {
+				if cfg.Shards > 1 {
+					loc, idxs, err := shardedBuild(cfg, c.sp, db, s.build)
+					if err != nil {
+						return nil, err
+					}
+					shardIdxs = idxs
+					return index.Index[T](loc), nil
+				}
 				if cfg.LoadIndexDir != "" {
 					path := filepath.Join(cfg.LoadIndexDir, indexFileName(cfg, c.name, s.method, fold))
 					switch idx, err := persist.LoadFile(path, c.sp, db); {
@@ -429,8 +477,16 @@ func (c *combo[T]) RunMethods(cfg Config, methods []string, w io.Writer) error {
 				}
 			}
 			for _, v := range s.variants {
-				if err := v.apply(idx); err != nil {
-					return fmt.Errorf("%s/%s %s: %w", c.name, s.method, v.label, err)
+				// Query-time params address concrete index types, which a
+				// sharded run applies uniformly to every shard index.
+				applyTo := []index.Index[T]{idx}
+				if len(shardIdxs) > 0 {
+					applyTo = shardIdxs
+				}
+				for _, target := range applyTo {
+					if err := v.apply(target); err != nil {
+						return fmt.Errorf("%s/%s %s: %w", c.name, s.method, v.label, err)
+					}
 				}
 				var res eval.Result
 				if cfg.Workers == 0 || cfg.Workers == 1 {

@@ -40,6 +40,19 @@ type Config struct {
 	// (per-query latency is then measured inside the workers and a
 	// wall-clock QPS is reported). Negative means GOMAXPROCS.
 	Workers int
+	// Shards, when > 1, evaluates every method through an in-process
+	// scatter-gather router (internal/router.Local) over this many
+	// deterministic shard corpora instead of one monolithic index: the
+	// fold's db is partitioned, one index is built per shard, and every
+	// query fans out and merges — the same decomposition the permrouter/
+	// permserve serving tier runs across processes. Results keep true
+	// distances and corpus-global ids; with full-candidate settings they
+	// are identical to the unsharded run. Incompatible with
+	// SaveIndexDir/LoadIndexDir (shard indexes are built per run).
+	Shards int
+	// ShardBy names the partitioner ("hash" when empty, or
+	// "round-robin"); see internal/shard.
+	ShardBy string
 	// SaveIndexDir, when set, persists every index built during the run
 	// into this directory (one file per dataset/method/fold, in the
 	// internal/codec format). LoadIndexDir, when set, warm-starts from

@@ -2,7 +2,6 @@ package indextest
 
 import (
 	"repro/internal/core"
-	"repro/internal/dataset"
 	"repro/internal/index"
 	"repro/internal/knngraph"
 	"repro/internal/lsh"
@@ -14,13 +13,8 @@ import (
 // The kind matrix: one deterministic builder per registered index kind,
 // shared by the conformance and roundtrip test drivers. Builders fix every
 // seed and use Workers: 1 so repeated builds are identical (required by the
-// batch-vs-serial property's fallback clone path).
-
-const (
-	dbSize   = 300
-	querySz  = 12
-	kindSeed = 7
-)
+// batch-vs-serial property's fallback clone path). The corpus split sizes
+// and seed live in corpus.go, shared with external suites.
 
 // kindCase names one index kind under test, generically over object type.
 type kindCase[T any] struct {
@@ -106,21 +100,8 @@ func denseKinds(sp space.Space[[]float32], db [][]float32) []kindCase[[]float32]
 	return kinds
 }
 
-// denseCorpus returns the SIFT-like test corpus split into db and queries.
-func denseCorpus() (db, queries [][]float32) {
-	all := dataset.SIFT(kindSeed, dbSize+querySz)
-	return all[:dbSize], all[dbSize:]
-}
-
-// dnaCorpus returns a byte-string corpus under normalized Levenshtein.
-func dnaCorpus() (db, queries [][]byte) {
-	all := dataset.DNA(kindSeed, dbSize+querySz, dataset.DNAOptions{})
-	return all[:dbSize], all[dbSize:]
-}
-
-// histoCorpus returns a topic-histogram corpus for the asymmetric
-// KL-divergence.
-func histoCorpus() (db, queries []space.Histogram) {
-	all := dataset.WikiLDA(kindSeed, dbSize+querySz, 8)
-	return all[:dbSize], all[dbSize:]
-}
+// denseCorpus, dnaCorpus and histoCorpus alias the exported corpora of
+// corpus.go under this package's historical names.
+func denseCorpus() (db, queries [][]float32)       { return DenseCorpus() }
+func dnaCorpus() (db, queries [][]byte)            { return DNACorpus() }
+func histoCorpus() (db, queries []space.Histogram) { return HistoCorpus() }

@@ -1,6 +1,9 @@
 package persist_test
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -88,4 +91,49 @@ func keys[V any](m map[string]V) []string {
 		out = append(out, k)
 	}
 	return out
+}
+
+// TestFileChecksum pins the trailer-aware checksum semantics: the value
+// equals the file's own codec trailer (read back as little-endian from the
+// final four bytes), differs across different indexes, and a whole-file
+// CRC-32C would not — it is the same constant residue for every valid file,
+// which is exactly why FileChecksum excludes the trailer.
+func TestFileChecksum(t *testing.T) {
+	dir := t.TempDir()
+	db := dataset.SIFT(9, 120)
+	paths := make([]string, 2)
+	for i, n := range []int{100, 120} {
+		p := filepath.Join(dir, fmt.Sprintf("s%d.psix", i))
+		if err := persist.SaveFile(p, seqscan.New[[]float32](space.L2{}, db[:n])); err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = p
+	}
+	sums := make([]uint32, 2)
+	for i, p := range paths {
+		sum, err := persist.FileChecksum(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trailer := binary.LittleEndian.Uint32(blob[len(blob)-4:])
+		if sum != trailer {
+			t.Errorf("%s: FileChecksum %08x != stored trailer %08x", p, sum, trailer)
+		}
+		// The whole-file CRC-32C is the fixed residue for any intact file.
+		whole := crc32.Checksum(blob, crc32.MakeTable(crc32.Castagnoli))
+		if whole != 0x48674bc7 {
+			t.Errorf("%s: whole-file crc32c %08x, expected the constant residue 48674bc7", p, whole)
+		}
+		sums[i] = sum
+	}
+	if sums[0] == sums[1] {
+		t.Errorf("different indexes share checksum %08x", sums[0])
+	}
+	if _, err := persist.FileChecksum(filepath.Join(dir, "missing.psix")); err == nil {
+		t.Error("FileChecksum of a missing file must error")
+	}
 }

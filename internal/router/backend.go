@@ -1,0 +1,261 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// maxShardResponseBytes caps what the router will read back from one shard;
+// matches the serving daemon's own request cap.
+const maxShardResponseBytes = 64 << 20
+
+// backend is one shard's HTTP client plus its lifetime counters. The
+// embedded http.Client pools connections (keep-alives on by default), so
+// steady-state queries reuse sockets instead of re-dialing per request.
+type backend struct {
+	id   int
+	base string // e.g. "http://10.0.0.1:8080", no trailing slash
+	// client serves queries under the per-shard timeout; health probes use
+	// a tighter budget so a wedged shard cannot stall readiness checks.
+	client     *http.Client
+	health     *http.Client
+	hedgeDelay time.Duration
+
+	requests  atomic.Int64 // search attempts routed here (hedges excluded)
+	failures  atomic.Int64 // search calls that returned no usable answer
+	hedges    atomic.Int64 // speculative second attempts launched
+	latencyNs atomic.Int64 // cumulative per-call wall time
+}
+
+func newBackend(id int, base string, timeout, hedgeDelay time.Duration) *backend {
+	return &backend{
+		id:         id,
+		base:       strings.TrimRight(base, "/"),
+		client:     &http.Client{Timeout: timeout},
+		health:     &http.Client{Timeout: min(timeout, 2*time.Second)},
+		hedgeDelay: hedgeDelay,
+	}
+}
+
+// shardFailure is an infrastructure failure of one shard (transport error,
+// timeout, or 5xx): the degraded-mode policy (fail-open vs fail-closed)
+// applies to these. Client-caused rejections are clientError instead.
+type shardFailure struct {
+	shard  int
+	status int // HTTP status, 0 for transport errors
+	msg    string
+}
+
+func (e *shardFailure) Error() string {
+	if e.status != 0 {
+		return fmt.Sprintf("shard %d: status %d: %s", e.shard, e.status, e.msg)
+	}
+	return fmt.Sprintf("shard %d: %s", e.shard, e.msg)
+}
+
+// clientError is a shard's 4xx verdict on the request itself (malformed
+// query, bad params). A request malformed for one shard is malformed for
+// all — the router forwards the verdict as its own 400 and never counts it
+// against the shard.
+type clientError struct{ msg string }
+
+func (e *clientError) Error() string { return e.msg }
+
+// shardPayload is what one shard answered: exactly one of Results (single
+// query) or Batch is populated, already in wire shape with corpus-global
+// ids.
+type shardPayload struct {
+	Results []neighborJSON   `json:"results"`
+	Batch   [][]neighborJSON `json:"batch"`
+}
+
+// errorBody extracts the "error" field of a JSON error response, falling
+// back to the raw body.
+func errorBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// search posts a query (or batch) body to this shard and decodes the
+// answer, hedging a second identical attempt if the first is still in
+// flight after hedgeDelay (tail-latency insurance: the slower attempt is
+// abandoned, its connection reclaimed by the pool). An attempt that fails
+// with an infrastructure error triggers the hedge immediately. Counters
+// are updated here; the caller only classifies the returned error.
+func (b *backend) search(ctx context.Context, name string, body []byte) (*shardPayload, error) {
+	b.requests.Add(1)
+	start := time.Now()
+	defer func() { b.latencyNs.Add(time.Since(start).Nanoseconds()) }()
+
+	p, err := b.searchHedged(ctx, name, body)
+	if err != nil {
+		if _, client := err.(*clientError); !client {
+			b.failures.Add(1)
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+func (b *backend) searchHedged(ctx context.Context, name string, body []byte) (*shardPayload, error) {
+	type outcome struct {
+		p   *shardPayload
+		err error
+	}
+	ch := make(chan outcome, 2)
+	attempt := func() {
+		p, err := b.doSearch(ctx, name, body)
+		ch <- outcome{p, err}
+	}
+	go attempt()
+
+	var hedgeC <-chan time.Time
+	if b.hedgeDelay > 0 {
+		t := time.NewTimer(b.hedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				return o.p, nil
+			}
+			if _, client := o.err.(*clientError); client {
+				// The shard judged the request malformed; a retry cannot
+				// change that verdict.
+				return nil, o.err
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			// An infrastructure failure hedges immediately (no point
+			// waiting out the timer against a dead socket).
+			if !hedged && b.hedgeDelay > 0 {
+				hedged = true
+				hedgeC = nil
+				b.hedges.Add(1)
+				pending++
+				go attempt()
+				continue
+			}
+			if pending == 0 {
+				return nil, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			hedged = true
+			b.hedges.Add(1)
+			pending++
+			go attempt()
+		case <-ctx.Done():
+			return nil, &shardFailure{shard: b.id, msg: ctx.Err().Error()}
+		}
+	}
+}
+
+// doSearch is one attempt: POST, classify the status, decode the payload.
+func (b *backend) doSearch(ctx context.Context, name string, body []byte) (*shardPayload, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		b.base+"/v1/indexes/"+url.PathEscape(name)+"/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, &shardFailure{shard: b.id, msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, &shardFailure{shard: b.id, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		return nil, &shardFailure{shard: b.id, msg: err.Error()}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var p shardPayload
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, &shardFailure{shard: b.id, msg: fmt.Sprintf("undecodable answer: %v", err)}
+		}
+		return &p, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return nil, &clientError{msg: errorBody(raw)}
+	default:
+		return nil, &shardFailure{shard: b.id, status: resp.StatusCode, msg: errorBody(raw)}
+	}
+}
+
+// healthy probes the shard's /healthz readiness endpoint.
+func (b *backend) healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := b.health.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %d: healthz status %d", b.id, resp.StatusCode)
+	}
+	return nil
+}
+
+// backendIndex mirrors the serving daemon's /v1/indexes row, as much of it
+// as discovery validates.
+type backendIndex struct {
+	Name       string      `json:"name"`
+	Kind       string      `json:"kind"`
+	Space      string      `json:"space"`
+	N          uint64      `json:"n"`
+	Generation int64       `json:"generation"`
+	CorpusN    int         `json:"corpus_n"`
+	Shard      *shard.Info `json:"shard"`
+}
+
+// listIndexes fetches the shard's served index set.
+func (b *backend) listIndexes(ctx context.Context) ([]backendIndex, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/v1/indexes", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing indexes: status %d: %s", resp.StatusCode, errorBody(raw))
+	}
+	var out struct {
+		Indexes []backendIndex `json:"indexes"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("listing indexes: %v", err)
+	}
+	return out.Indexes, nil
+}

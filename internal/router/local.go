@@ -1,0 +1,154 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/topk"
+)
+
+// LocalShard is one in-memory shard: an index built over a corpus subset
+// plus the subset's global ids. IDs[i] is the corpus-global id of the
+// shard-local id i and must be strictly increasing (internal/shard.IDs
+// produces exactly this) — a monotone map keeps a (dist, local-id) ordered
+// result list ordered by (dist, global-id) after translation. A nil IDs
+// means the shard already answers in global ids (the S=1 degenerate case).
+type LocalShard[T any] struct {
+	Index index.Index[T]
+	IDs   []uint32
+}
+
+// Local scatter-gathers over in-memory shard indexes: the same partition,
+// id-translation and merge semantics as the HTTP front tier (Router), with
+// the sockets cut out. It exists so the merge logic is unit-testable
+// against every registered index kind without a daemon, and so the sharded
+// query path can sit directly in benchmarks and the evaluation harness
+// (annbench -shards) next to its unsharded counterpart.
+//
+// Local implements index.Index[T]; Search scatters one query across all
+// shards on the pool and merges. It also implements
+// index.SearcherProvider[T]: a minted Searcher queries the shards serially
+// through their own per-worker Searchers, so the whole sharded path keeps
+// the zero-steady-state-allocation property of the underlying indexes
+// (guarded in internal/core/alloc_test.go style by this package's tests).
+type Local[T any] struct {
+	shards []LocalShard[T]
+	pool   engine.Pool
+	name   string
+}
+
+// NewLocal builds a scatter-gather view over shards. The pool bounds the
+// per-query fan-out concurrency of Search (a zero pool runs at GOMAXPROCS).
+func NewLocal[T any](shards []LocalShard[T], pool engine.Pool) (*Local[T], error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("router: no shards")
+	}
+	for i, s := range shards {
+		if s.Index == nil {
+			return nil, fmt.Errorf("router: shard %d has no index", i)
+		}
+	}
+	return &Local[T]{
+		shards: shards,
+		pool:   pool,
+		name:   fmt.Sprintf("%s-sharded%d", shards[0].Index.Name(), len(shards)),
+	}, nil
+}
+
+// Name implements index.Index: the underlying method tagged with the shard
+// count, e.g. "napp-sharded3".
+func (l *Local[T]) Name() string { return l.name }
+
+// Shards returns the shard count.
+func (l *Local[T]) Shards() int { return len(l.shards) }
+
+// Stats implements index.Sized: the summed footprint of the shard indexes
+// plus the id-translation tables.
+func (l *Local[T]) Stats() index.Stats {
+	var st index.Stats
+	for _, sh := range l.shards {
+		if sized, ok := sh.Index.(index.Sized); ok {
+			s := sized.Stats()
+			st.Bytes += s.Bytes
+			st.BuildDistances += s.BuildDistances
+		}
+		st.Bytes += int64(len(sh.IDs)) * 4
+	}
+	return st
+}
+
+// translate rewrites a shard-local result list to global ids in place.
+func translate(ns []topk.Neighbor, ids []uint32) {
+	if ids == nil {
+		return
+	}
+	for i := range ns {
+		ns[i].ID = ids[ns[i].ID]
+	}
+}
+
+// Search implements index.Index: scatter the query to every shard over the
+// pool, translate ids, merge canonically.
+func (l *Local[T]) Search(query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	parts := make([][]topk.Neighbor, len(l.shards))
+	l.pool.For(len(l.shards), func(s int) {
+		ns := l.shards[s].Index.Search(query, k)
+		translate(ns, l.shards[s].IDs)
+		parts[s] = ns
+	})
+	merged, _ := mergeTopK(nil, k, parts)
+	return merged
+}
+
+// NewSearcher implements index.SearcherProvider. The searcher holds one
+// sub-searcher per shard (for shards whose index provides them; others fall
+// back to plain Search) plus a reusable merge buffer, and must not be
+// shared between goroutines.
+func (l *Local[T]) NewSearcher() index.Searcher[T] {
+	s := &localSearcher[T]{l: l, subs: make([]index.Searcher[T], len(l.shards))}
+	for i, sh := range l.shards {
+		if sp, ok := sh.Index.(index.SearcherProvider[T]); ok {
+			s.subs[i] = sp.NewSearcher()
+		}
+	}
+	return s
+}
+
+// localSearcher is the per-worker query handle of a Local: shards are
+// probed serially (the worker is the unit of parallelism, as everywhere
+// else on the query hot path), results land in one reusable buffer, and
+// the canonical merge happens in place.
+type localSearcher[T any] struct {
+	l    *Local[T]
+	subs []index.Searcher[T] // nil where the shard index mints none
+	buf  []topk.Neighbor
+}
+
+// Search implements index.Searcher.
+func (s *localSearcher[T]) Search(query T, k int) []topk.Neighbor {
+	return s.SearchAppend(nil, query, k)
+}
+
+// SearchAppend implements index.Searcher: with a dst of sufficient capacity
+// and sub-searchers on every shard, a warm call performs zero allocations.
+func (s *localSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return dst
+	}
+	s.buf = s.buf[:0]
+	for i, sh := range s.l.shards {
+		start := len(s.buf)
+		if sub := s.subs[i]; sub != nil {
+			s.buf = sub.SearchAppend(s.buf, query, k)
+		} else {
+			s.buf = append(s.buf, sh.Index.Search(query, k)...)
+		}
+		translate(s.buf[start:], sh.IDs)
+	}
+	merged := topk.SelectK(s.buf, k)
+	return append(dst, merged...)
+}

@@ -1,0 +1,445 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/topk"
+)
+
+// maxBodyBytes caps an incoming request body, mirroring the serving daemon.
+const maxBodyBytes = 64 << 20
+
+// Options configure the HTTP scatter-gather front tier.
+type Options struct {
+	// Shards are the backend base URLs in shard order: Shards[i] must
+	// serve shard i of every routed index set. At least one is required.
+	Shards []string
+	// FailOpen selects the degraded mode when a shard is down: true
+	// answers from the surviving shards with "partial": true, false
+	// answers 502. Default false (fail closed) — silently incomplete
+	// answers must be opted into.
+	FailOpen bool
+	// ShardTimeout bounds each per-shard call (default 10s).
+	ShardTimeout time.Duration
+	// HedgeDelay, when positive, launches a speculative second attempt
+	// against a shard that has not answered within the delay — tail
+	// latency insurance at the cost of duplicate work. 0 disables.
+	HedgeDelay time.Duration
+	// Log receives routing events; nil means the process default logger.
+	Log *log.Logger
+}
+
+// routedIndex is one routable index name with what discovery learned about
+// it: per-shard metadata must agree on kind and space, and the shard sizes
+// sum to the full corpus.
+type routedIndex struct {
+	kind        string
+	space       string
+	totalN      uint64
+	generations []int64 // per shard
+}
+
+// Router is the scatter-gather HTTP front tier over S shard backends. It
+// speaks the same /v1/indexes/{name}/search wire dialect as the serving
+// daemon — to a client, a router over S shards is indistinguishable from
+// one big permserve (byte-identical answers included, see the package doc),
+// until a shard dies and the degraded-mode contract (Options.FailOpen)
+// becomes visible.
+//
+// Create with New, which connects to every backend and validates the shard
+// topology; mount via Handler.
+type Router struct {
+	backends   []*backend
+	indexes    map[string]*routedIndex
+	names      []string // sorted
+	failOpen   bool
+	hedgeDelay time.Duration
+	timeout    time.Duration
+	log        *log.Logger
+	start      time.Time
+	mux        *http.ServeMux
+}
+
+// New builds a router over opts.Shards. It fetches every backend's index
+// list and refuses to start on an inconsistent topology: differing name
+// sets, mismatched kind/space for a name, or a shard stamp that contradicts
+// the backend's position — a miswired router would otherwise serve merged
+// nonsense that looks healthy.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, fmt.Errorf("router: no shard backends")
+	}
+	if opts.ShardTimeout <= 0 {
+		opts.ShardTimeout = 10 * time.Second
+	}
+	rt := &Router{
+		indexes:    map[string]*routedIndex{},
+		failOpen:   opts.FailOpen,
+		hedgeDelay: opts.HedgeDelay,
+		timeout:    opts.ShardTimeout,
+		log:        opts.Log,
+		start:      time.Now(),
+		mux:        http.NewServeMux(),
+	}
+	if rt.log == nil {
+		rt.log = log.Default()
+	}
+	for i, base := range opts.Shards {
+		rt.backends = append(rt.backends, newBackend(i, base, opts.ShardTimeout, opts.HedgeDelay))
+	}
+	if err := rt.discover(); err != nil {
+		return nil, err
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /statusz", rt.handleStatusz)
+	rt.mux.HandleFunc("GET /v1/indexes", rt.handleList)
+	rt.mux.HandleFunc("POST /v1/indexes/{name}/search", rt.handleSearch)
+	return rt, nil
+}
+
+// Handler returns the mounted routes.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Names lists the routable index names, sorted.
+func (rt *Router) Names() []string { return rt.names }
+
+// discover pulls and cross-validates every backend's index list.
+func (rt *Router) discover() error {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.timeout)
+	defer cancel()
+	S := len(rt.backends)
+	for i, b := range rt.backends {
+		rows, err := b.listIndexes(ctx)
+		if err != nil {
+			return fmt.Errorf("router: shard %d (%s): %w", i, b.base, err)
+		}
+		if i > 0 && len(rows) != len(rt.indexes) {
+			return fmt.Errorf("router: shard %d serves %d indexes, shard 0 serves %d", i, len(rows), len(rt.indexes))
+		}
+		for _, row := range rows {
+			ri := rt.indexes[row.Name]
+			if ri == nil {
+				if i > 0 {
+					return fmt.Errorf("router: shard %d serves index %q, shard 0 does not", i, row.Name)
+				}
+				ri = &routedIndex{kind: row.Kind, space: row.Space, generations: make([]int64, S)}
+				rt.indexes[row.Name] = ri
+				rt.names = append(rt.names, row.Name)
+			}
+			if row.Kind != ri.kind || row.Space != ri.space {
+				return fmt.Errorf("router: index %q is %s/%s on shard %d, %s/%s on shard 0",
+					row.Name, row.Kind, row.Space, i, ri.kind, ri.space)
+			}
+			if st := row.Shard; st != nil {
+				if st.Shards != S {
+					return fmt.Errorf("router: index %q on shard %d belongs to a %d-shard set, router has %d backends",
+						row.Name, i, st.Shards, S)
+				}
+				if st.Index != i {
+					return fmt.Errorf("router: backend %d (%s) serves shard %d of index %q — backends wired out of order",
+						i, b.base, st.Index, row.Name)
+				}
+			} else {
+				rt.log.Printf("router: index %q on shard %d carries no shard stamp; trusting the operator that backends hold disjoint partitions", row.Name, i)
+			}
+			ri.totalN += row.N
+			ri.generations[i] = row.Generation
+		}
+	}
+	if len(rt.names) == 0 {
+		return fmt.Errorf("router: backends serve no indexes")
+	}
+	sort.Strings(rt.names)
+	return nil
+}
+
+// The wire types mirror the serving daemon's byte for byte (field order
+// included), plus the degraded-mode fields, which marshal only when a
+// shard failed — a complete answer through the router is byte-identical to
+// the same answer from an unsharded daemon.
+
+type searchRequest struct {
+	Query   json.RawMessage    `json:"query,omitempty"`
+	Queries []json.RawMessage  `json:"queries,omitempty"`
+	K       int                `json:"k,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+}
+
+type neighborJSON struct {
+	ID   uint32  `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+type singleResponse struct {
+	Index   string         `json:"index"`
+	K       int            `json:"k"`
+	Results []neighborJSON `json:"results"`
+	// Partial marks a fail-open answer merged from a strict subset of
+	// shards: correct ids, true distances, but possibly missing
+	// neighbors owned by the failed shards.
+	Partial      bool  `json:"partial,omitempty"`
+	FailedShards []int `json:"failed_shards,omitempty"`
+}
+
+type batchResponse struct {
+	Index        string           `json:"index"`
+	K            int              `json:"k"`
+	Batch        [][]neighborJSON `json:"batch"`
+	Partial      bool             `json:"partial,omitempty"`
+	FailedShards []int            `json:"failed_shards,omitempty"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	errs := make([]error, len(rt.backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			errs[i] = b.healthy(ctx)
+		}(i, b)
+	}
+	wg.Wait()
+	var down []map[string]any
+	for i, err := range errs {
+		if err != nil {
+			down = append(down, map[string]any{"shard": i, "url": rt.backends[i].base, "error": err.Error()})
+		}
+	}
+	if len(down) > 0 {
+		rt.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "down": down})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// shardStatus is one row of GET /statusz.
+type shardStatus struct {
+	Shard         int     `json:"shard"`
+	URL           string  `json:"url"`
+	Requests      int64   `json:"requests"`
+	Failures      int64   `json:"failures"`
+	Hedges        int64   `json:"hedges"`
+	QPS           float64 `json:"qps"`
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+}
+
+func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	uptime := time.Since(rt.start)
+	rows := make([]shardStatus, len(rt.backends))
+	for i, b := range rt.backends {
+		row := shardStatus{
+			Shard:    i,
+			URL:      b.base,
+			Requests: b.requests.Load(),
+			Failures: b.failures.Load(),
+			Hedges:   b.hedges.Load(),
+		}
+		if up := uptime.Seconds(); up > 0 {
+			row.QPS = float64(row.Requests) / up
+		}
+		if row.Requests > 0 {
+			row.MeanLatencyUs = float64(b.latencyNs.Load()) / float64(row.Requests) / 1e3
+		}
+		rows[i] = row
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s":       uptime.Seconds(),
+		"fail_open":      rt.failOpen,
+		"hedge_delay_ms": float64(rt.hedgeDelay) / float64(time.Millisecond),
+		"shards":         rows,
+		"indexes":        rt.names,
+	})
+}
+
+// routerIndexInfo is one row of the router's GET /v1/indexes: the merged
+// view (total corpus size, per-shard generations) rather than any one
+// shard's.
+type routerIndexInfo struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"`
+	Space       string  `json:"space"`
+	N           uint64  `json:"n"`
+	Shards      int     `json:"shards"`
+	Generations []int64 `json:"generations"`
+}
+
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	infos := make([]routerIndexInfo, 0, len(rt.names))
+	for _, name := range rt.names {
+		ri := rt.indexes[name]
+		infos = append(infos, routerIndexInfo{
+			Name: name, Kind: ri.kind, Space: ri.space,
+			N: ri.totalN, Shards: len(rt.backends), Generations: ri.generations,
+		})
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
+}
+
+func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ri := rt.indexes[name]
+	if ri == nil {
+		rt.writeError(w, http.StatusNotFound, fmt.Sprintf("no index %q", name))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	var req searchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed body: %v", err))
+		return
+	}
+	if (req.Query == nil) == (len(req.Queries) == 0) {
+		rt.writeError(w, http.StatusBadRequest, `body must carry exactly one of "query" or a non-empty "queries"`)
+		return
+	}
+	if req.K == 0 {
+		req.K = 10
+	}
+	if req.K < 0 {
+		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be positive, got %d", req.K))
+		return
+	}
+	// Cap k at the full corpus size, exactly as the unsharded daemon does
+	// (each shard additionally caps at its subset size on its own).
+	if n := int(ri.totalN); req.K > n && n > 0 {
+		req.K = n
+	}
+	numQueries := 1
+	if req.Query == nil {
+		numQueries = len(req.Queries)
+	}
+
+	// Scatter: the original body is forwarded verbatim — every shard
+	// decodes the same queries and applies the same per-request params.
+	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
+	defer cancel()
+	payloads := make([]*shardPayload, len(rt.backends))
+	errs := make([]error, len(rt.backends))
+	var wg sync.WaitGroup
+	for i, b := range rt.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			payloads[i], errs[i] = b.search(ctx, name, body)
+		}(i, b)
+	}
+	wg.Wait()
+
+	// Classify failures. A client-side rejection from any shard becomes
+	// the router's own 400: the request is equally malformed everywhere.
+	// A 200 of the wrong shape (a version-skewed or buggy backend) is a
+	// shard failure, and its payload is dropped so the gather below can
+	// neither index past a short batch nor silently merge a shard that
+	// answered the wrong question — the daemon always marshals the
+	// matching field non-nil ("results": [] for an empty answer), so a
+	// nil field means the field was absent, not empty.
+	var failed []int
+	for i, err := range errs {
+		if err == nil {
+			wrongShape := payloads[i] == nil ||
+				(req.Query != nil && payloads[i].Results == nil) ||
+				(req.Query == nil && len(payloads[i].Batch) != numQueries)
+			if wrongShape {
+				errs[i] = &shardFailure{shard: i, msg: "protocol error: shard answered the wrong shape"}
+				payloads[i] = nil
+				failed = append(failed, i)
+			}
+			continue
+		}
+		if ce, ok := err.(*clientError); ok {
+			rt.writeError(w, http.StatusBadRequest, ce.msg)
+			return
+		}
+		failed = append(failed, i)
+	}
+	if len(failed) > 0 {
+		for _, i := range failed {
+			rt.log.Printf("router: %v", errs[i])
+		}
+		if !rt.failOpen || len(failed) == len(rt.backends) {
+			rt.writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("%d/%d shards failed: %v", len(failed), len(rt.backends), errs[failed[0]]))
+			return
+		}
+	}
+
+	// Gather: canonical (dist, id) merge of the surviving shards.
+	if req.Query != nil {
+		parts := make([][]topk.Neighbor, 0, len(rt.backends))
+		for _, p := range payloads {
+			if p != nil {
+				parts = append(parts, fromJSON(p.Results))
+			}
+		}
+		merged, _ := mergeTopK(nil, req.K, parts)
+		rt.writeJSON(w, http.StatusOK, &singleResponse{
+			Index: name, K: req.K, Results: toJSON(merged),
+			Partial: len(failed) > 0, FailedShards: failed,
+		})
+		return
+	}
+	batch := make([][]neighborJSON, numQueries)
+	var buf []topk.Neighbor
+	parts := make([][]topk.Neighbor, 0, len(rt.backends))
+	for qi := 0; qi < numQueries; qi++ {
+		parts = parts[:0]
+		for _, p := range payloads {
+			if p != nil {
+				parts = append(parts, fromJSON(p.Batch[qi]))
+			}
+		}
+		var merged []topk.Neighbor
+		merged, buf = mergeTopK(buf, req.K, parts)
+		batch[qi] = toJSON(merged)
+	}
+	rt.writeJSON(w, http.StatusOK, &batchResponse{
+		Index: name, K: req.K, Batch: batch,
+		Partial: len(failed) > 0, FailedShards: failed,
+	})
+}
+
+// fromJSON converts wire neighbors to merge form.
+func fromJSON(ns []neighborJSON) []topk.Neighbor {
+	out := make([]topk.Neighbor, len(ns))
+	for i, nb := range ns {
+		out[i] = topk.Neighbor{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+// toJSON converts merged neighbors to the wire shape (non-nil, so empty
+// results encode as [] exactly like the serving daemon).
+func toJSON(ns []topk.Neighbor) []neighborJSON {
+	out := make([]neighborJSON, len(ns))
+	for i, nb := range ns {
+		out[i] = neighborJSON{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		rt.log.Printf("router: writing response: %v", err)
+	}
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	rt.writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

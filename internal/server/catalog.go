@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/persist"
+	"repro/internal/shard"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -27,12 +28,25 @@ type Manifest struct {
 	// Dataset names the generator: "sift", "cophir", "dna", "wiki-sparse",
 	// "imagenet", or "wiki-<topics>" (e.g. "wiki-8") for LDA histograms.
 	Dataset string `json:"dataset"`
-	// Seed and N parameterize the generator: the corpus is gen(Seed, N).
-	// N must equal the data-set size recorded in the index file header,
-	// or loading fails — a mismatched manifest can never serve an index
-	// whose ids point at the wrong objects.
+	// Seed and N parameterize the generator: the *full* corpus is
+	// gen(Seed, N). Without a Shard stamp, N must equal the data-set size
+	// recorded in the index file header, or loading fails — a mismatched
+	// manifest can never serve an index whose ids point at the wrong
+	// objects. With a Shard stamp the index was built over the stamp's
+	// deterministic subset of gen(Seed, N), and the header must record
+	// the subset size instead.
 	Seed int64 `json:"seed"`
 	N    int   `json:"n"`
+	// Shard, when present, marks this index as one shard of a
+	// partitioned corpus (written by cmd/shardsplit): the served corpus
+	// is the stamp's subset, and every result id is translated back to
+	// its corpus-global id on the way out, so a scatter-gather router can
+	// merge per-shard answers without any per-process id state.
+	Shard *shard.Info `json:"shard,omitempty"`
+	// Generation orders successive builds of the same index (snapshot
+	// shipping bumps it); surfaced in /statusz and /v1/indexes so a
+	// rollout driver can observe which generation each process serves.
+	Generation int64 `json:"generation,omitempty"`
 	// Params are query-time method params applied once after loading
 	// (experiments.ParseParams keys, e.g. {"gamma": 0.05}); they become
 	// the index's serving defaults, restored after any per-request
@@ -51,10 +65,24 @@ type servedIndex interface {
 	applyParams(p experiments.Params) (restore func(), err error)
 }
 
-// typedIndex adapts one concrete index.Index[T] to servedIndex.
+// typedIndex adapts one concrete index.Index[T] to servedIndex. For shard
+// indexes, ids maps shard-local result ids to corpus-global ids (nil for an
+// unsharded index); the map is strictly increasing (internal/shard.IDs), so
+// translation preserves the canonical (dist, id) result order.
 type typedIndex[T any] struct {
 	idx index.Index[T]
 	dec func(json.RawMessage) (T, error)
+	ids []uint32
+}
+
+// globalize rewrites shard-local ids to corpus-global ids in place.
+func (t *typedIndex[T]) globalize(ns []topk.Neighbor) []topk.Neighbor {
+	if t.ids != nil {
+		for i := range ns {
+			ns[i].ID = t.ids[ns[i].ID]
+		}
+	}
+	return ns
 }
 
 func (t *typedIndex[T]) search(raw json.RawMessage, k int) ([]topk.Neighbor, error) {
@@ -62,7 +90,7 @@ func (t *typedIndex[T]) search(raw json.RawMessage, k int) ([]topk.Neighbor, err
 	if err != nil {
 		return nil, badRequestf("query: %v", err)
 	}
-	return t.idx.Search(q, k), nil
+	return t.globalize(t.idx.Search(q, k)), nil
 }
 
 func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
@@ -74,7 +102,11 @@ func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.P
 		}
 		qs[i] = q
 	}
-	return engine.SearchBatchPool(pool, t.idx, qs, k), nil
+	outs := engine.SearchBatchPool(pool, t.idx, qs, k)
+	for _, ns := range outs {
+		t.globalize(ns)
+	}
+	return outs, nil
 }
 
 func (t *typedIndex[T]) applyParams(p experiments.Params) (func(), error) {
@@ -126,10 +158,26 @@ func loadServed(path string, man Manifest) (servedIndex, codec.Header, error) {
 	}
 }
 
-// loadTyped finishes loadServed for one object type: resolve the space the
-// file was built under, load, and apply the manifest's default params.
+// loadTyped finishes loadServed for one object type: carve the shard subset
+// when the manifest carries a stamp, resolve the space the file was built
+// under, load, and apply the manifest's default params.
 func loadTyped[T any](path string, hdr codec.Header, man Manifest, data []T,
 	spOf func(string) (space.Space[T], error), dec func(json.RawMessage) (T, error)) (servedIndex, codec.Header, error) {
+	var ids []uint32
+	if man.Shard != nil {
+		if err := man.Shard.Validate(); err != nil {
+			return nil, hdr, fmt.Errorf("%s: manifest shard stamp: %w", path, err)
+		}
+		var err error
+		ids, err = shard.ShardIDs(man.Shard.Partitioner, man.N, man.Shard.Shards, man.Shard.Index)
+		if err != nil {
+			return nil, hdr, fmt.Errorf("%s: %w", path, err)
+		}
+		// The per-kind loader verifies hdr.N against the data slice it
+		// receives, so handing it the subset enforces "header records the
+		// subset size" for free.
+		data = shard.Subset(data, ids)
+	}
 	sp, err := spOf(hdr.Space)
 	if err != nil {
 		return nil, hdr, fmt.Errorf("%s: %w", path, err)
@@ -143,7 +191,7 @@ func loadTyped[T any](path string, hdr codec.Header, man Manifest, data []T,
 			return nil, hdr, fmt.Errorf("%s: manifest params: %w", path, err)
 		}
 	}
-	return &typedIndex[T]{idx: idx, dec: dec}, hdr, nil
+	return &typedIndex[T]{idx: idx, dec: dec, ids: ids}, hdr, nil
 }
 
 // Space resolution per object type. The header's space tag names a

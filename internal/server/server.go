@@ -40,6 +40,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/shard"
 	"repro/internal/topk"
 )
 
@@ -156,15 +157,20 @@ type batchResponse struct {
 	Batch [][]neighborJSON `json:"batch"`
 }
 
-// indexInfo is one row of GET /v1/indexes.
+// indexInfo is one row of GET /v1/indexes. For a shard index N is the
+// subset size served by this process, CorpusN the full corpus size, and
+// Shard the membership stamp a router uses to sanity-check its wiring.
 type indexInfo struct {
-	Name    string `json:"name"`
-	Kind    string `json:"kind"`
-	Space   string `json:"space"`
-	N       uint64 `json:"n"`
-	Version uint16 `json:"version"`
-	Dataset string `json:"dataset"`
-	Seed    int64  `json:"seed"`
+	Name       string      `json:"name"`
+	Kind       string      `json:"kind"`
+	Space      string      `json:"space"`
+	N          uint64      `json:"n"`
+	Version    uint16      `json:"version"`
+	Dataset    string      `json:"dataset"`
+	Seed       int64       `json:"seed"`
+	Generation int64       `json:"generation,omitempty"`
+	CorpusN    int         `json:"corpus_n,omitempty"`
+	Shard      *shard.Info `json:"shard,omitempty"`
 }
 
 // runtimeStatus is the Go runtime memory/GC section of GET /statusz: the
@@ -205,19 +211,47 @@ func readRuntimeStatus() runtimeStatus {
 	}
 }
 
-// indexStatus is one row of GET /statusz.
+// indexStatus is one row of GET /statusz. N, Version and Generation
+// describe the currently served snapshot (the same fields ReadIndexHeader
+// and the sidecar manifest expose offline), so a rollout driver polling
+// /statusz can tell which build of an index each process serves — the
+// observable that snapshot shipping and the sharded router's consistency
+// checks key on.
 type indexStatus struct {
-	Name          string  `json:"name"`
-	Kind          string  `json:"kind"`
-	Requests      int64   `json:"requests"`
-	Queries       int64   `json:"queries"`
-	Failures      int64   `json:"failures"`
-	Reloads       int64   `json:"reloads"`
-	QPS           float64 `json:"qps"`             // queries / process uptime
-	MeanLatencyUs float64 `json:"mean_latency_us"` // per search request
+	Name          string      `json:"name"`
+	Kind          string      `json:"kind"`
+	N             uint64      `json:"n"`
+	Version       uint16      `json:"version"`
+	Generation    int64       `json:"generation,omitempty"`
+	Shard         *shard.Info `json:"shard,omitempty"`
+	Requests      int64       `json:"requests"`
+	Queries       int64       `json:"queries"`
+	Failures      int64       `json:"failures"`
+	Reloads       int64       `json:"reloads"`
+	QPS           float64     `json:"qps"`             // queries / process uptime
+	MeanLatencyUs float64     `json:"mean_latency_us"` // per search request
 }
 
+// handleHealthz is the readiness probe: 200 "ok" only when every named
+// index has a live, fully loaded snapshot; 503 with detail otherwise. The
+// sharded router polls this to decide whether a shard can answer, and a
+// rolling-restart driver gates traffic shifts on it. (OpenDir refuses to
+// start half-loaded, so unreadiness indicates a bug rather than a boot
+// phase today — the probe exists so that contract is observable, and stays
+// correct if lazy loading ever arrives.)
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	var notReady []string
+	for _, name := range s.reg.Names() {
+		if e := s.reg.get(name); e == nil || e.snap.Load() == nil {
+			notReady = append(notReady, name)
+		}
+	}
+	if len(notReady) > 0 {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "not_loaded": notReady,
+		})
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }
@@ -226,15 +260,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	infos := make([]indexInfo, 0, len(s.reg.Names()))
 	for _, name := range s.reg.Names() {
 		snap := s.reg.get(name).snap.Load()
-		infos = append(infos, indexInfo{
-			Name:    name,
-			Kind:    snap.hdr.Kind,
-			Space:   snap.hdr.Space,
-			N:       snap.hdr.N,
-			Version: snap.hdr.Version,
-			Dataset: snap.man.Dataset,
-			Seed:    snap.man.Seed,
-		})
+		info := indexInfo{
+			Name:       name,
+			Kind:       snap.hdr.Kind,
+			Space:      snap.hdr.Space,
+			N:          snap.hdr.N,
+			Version:    snap.hdr.Version,
+			Dataset:    snap.man.Dataset,
+			Seed:       snap.man.Seed,
+			Generation: snap.man.Generation,
+			Shard:      snap.man.Shard,
+		}
+		if snap.man.Shard != nil {
+			info.CorpusN = snap.man.N
+		}
+		infos = append(infos, info)
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
 }
@@ -244,13 +284,18 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	rows := make([]indexStatus, 0, len(s.reg.Names()))
 	for _, name := range s.reg.Names() {
 		e := s.reg.get(name)
+		snap := e.snap.Load()
 		row := indexStatus{
-			Name:     name,
-			Kind:     e.snap.Load().hdr.Kind,
-			Requests: e.stats.requests.Load(),
-			Queries:  e.stats.queries.Load(),
-			Failures: e.stats.failures.Load(),
-			Reloads:  e.stats.reloads.Load(),
+			Name:       name,
+			Kind:       snap.hdr.Kind,
+			N:          snap.hdr.N,
+			Version:    snap.hdr.Version,
+			Generation: snap.man.Generation,
+			Shard:      snap.man.Shard,
+			Requests:   e.stats.requests.Load(),
+			Queries:    e.stats.queries.Load(),
+			Failures:   e.stats.failures.Load(),
+			Reloads:    e.stats.reloads.Load(),
 		}
 		if up := uptime.Seconds(); up > 0 {
 			row.QPS = float64(row.Queries) / up

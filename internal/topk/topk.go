@@ -39,8 +39,16 @@ func ByDist(ns []Neighbor) {
 }
 
 // Queue is a bounded max-heap holding the k nearest neighbors observed so
-// far. The element at the top of the heap is the *worst* (largest distance)
-// of the kept set, so a new candidate only enters if it beats the top.
+// far. The element at the top of the heap is the *worst* (largest by
+// (distance, id)) of the kept set, so a new candidate only enters if it
+// beats the top.
+//
+// The heap orders lexicographically by (Dist, ID), exactly like ByDist and
+// SelectK, so the kept set is always the canonical k smallest of everything
+// pushed so far — independent of push order, including when distances tie
+// at the k boundary. Canonical tie-breaking is what lets a scatter-gather
+// merge of per-shard top-k lists (internal/router) reproduce an unsharded
+// index bit for bit: both sides resolve a tie in favor of the smaller id.
 //
 // The zero value is not usable; create one with NewQueue.
 type Queue struct {
@@ -88,21 +96,24 @@ func (q *Queue) Bound() (d float64, ok bool) {
 	return q.heap[0].Dist, true
 }
 
-// WouldAccept reports whether a candidate at distance d would enter the
-// queue if pushed now.
+// WouldAccept reports whether a candidate at distance d could enter the
+// queue if pushed now. A candidate tying the current bound may still enter
+// (its id decides), so ties report true; callers use WouldAccept only to
+// skip work, and skipping a tie would make the kept set depend on push
+// order.
 func (q *Queue) WouldAccept(d float64) bool {
-	return len(q.heap) < q.k || d < q.heap[0].Dist
+	return len(q.heap) < q.k || d <= q.heap[0].Dist
 }
 
-// Push offers a candidate to the queue, keeping only the k nearest.
-// It reports whether the candidate was retained.
+// Push offers a candidate to the queue, keeping only the k nearest by
+// (distance, id). It reports whether the candidate was retained.
 func (q *Queue) Push(id uint32, d float64) bool {
 	if len(q.heap) < q.k {
 		q.heap = append(q.heap, Neighbor{ID: id, Dist: d})
 		q.siftUp(len(q.heap) - 1)
 		return true
 	}
-	if d >= q.heap[0].Dist {
+	if !less(Neighbor{ID: id, Dist: d}, q.heap[0]) {
 		return false
 	}
 	q.heap[0] = Neighbor{ID: id, Dist: d}
@@ -147,7 +158,7 @@ func (q *Queue) AppendResults(dst []Neighbor) []Neighbor {
 func (q *Queue) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if q.heap[parent].Dist >= q.heap[i].Dist {
+		if !less(q.heap[parent], q.heap[i]) {
 			return
 		}
 		q.heap[parent], q.heap[i] = q.heap[i], q.heap[parent]
@@ -160,10 +171,10 @@ func (q *Queue) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && q.heap[l].Dist > q.heap[largest].Dist {
+		if l < n && less(q.heap[largest], q.heap[l]) {
 			largest = l
 		}
-		if r < n && q.heap[r].Dist > q.heap[largest].Dist {
+		if r < n && less(q.heap[largest], q.heap[r]) {
 			largest = r
 		}
 		if largest == i {

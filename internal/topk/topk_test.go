@@ -72,6 +72,64 @@ func TestQueueBoundAndWouldAccept(t *testing.T) {
 	}
 }
 
+// TestQueueCanonicalUnderTies asserts the property the scatter-gather merge
+// relies on: the kept set is the canonical k smallest by (dist, id)
+// regardless of push order, including distance ties straddling the k
+// boundary.
+func TestQueueCanonicalUnderTies(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(60)
+		k := 1 + r.Intn(12)
+		// Draw distances from a tiny alphabet so ties are the norm.
+		ns := make([]Neighbor, n)
+		for i := range ns {
+			ns[i] = Neighbor{ID: uint32(i), Dist: float64(r.Intn(4))}
+		}
+		r.Shuffle(n, func(i, j int) { ns[i], ns[j] = ns[j], ns[i] })
+
+		q := NewQueue(k)
+		for _, x := range ns {
+			q.Push(x.ID, x.Dist)
+		}
+		got := q.Results()
+
+		want := append([]Neighbor(nil), ns...)
+		ByDist(want)
+		if k < len(want) {
+			want = want[:k]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (k=%d): result %d = %+v, want %+v (push order must not matter)",
+					trial, k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestQueueWouldAcceptTies: a candidate tying the bound must not be
+// pre-filtered — Push decides by id.
+func TestQueueWouldAcceptTies(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(5, 3)
+	if !q.WouldAccept(3) {
+		t.Fatal("WouldAccept must report true on a distance tie (id decides)")
+	}
+	if !q.Push(2, 3) {
+		t.Fatal("Push must replace an equal-distance neighbor with a larger id")
+	}
+	if q.Push(7, 3) {
+		t.Fatal("Push must reject an equal-distance neighbor with a larger id")
+	}
+	if res := q.Results(); len(res) != 1 || res[0].ID != 2 {
+		t.Fatalf("results = %+v, want the id-2 neighbor", res)
+	}
+}
+
 func TestQueuePopWorst(t *testing.T) {
 	q := NewQueue(3)
 	q.Push(1, 1)

@@ -1,0 +1,66 @@
+package vptree_test
+
+// Allocation guards for the VP-tree query path, in the style of
+// internal/core/alloc_test.go: on a warm tree the steady-state cost of a
+// query is zero allocations through a Searcher's SearchAppend (the scratch
+// stack and queue are owned by the handle) and at most one through plain
+// Search (the returned result slice; traversal scratch is pooled). Run over
+// L2 so only tree machinery is measured.
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/index"
+	"repro/internal/space"
+	"repro/internal/topk"
+	"repro/internal/vptree"
+)
+
+func buildAllocTree(t *testing.T) (*vptree.Tree[[]float32], [][]float32) {
+	t.Helper()
+	const n, nq, seed = 600, 8, 7
+	all := dataset.SIFT(seed, n+nq)
+	tree, err := vptree.New[[]float32](space.L2{}, all[:n], vptree.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, all[n:]
+}
+
+// TestVPTreeSearchAppendZeroAllocs: a warm per-worker Searcher answers with
+// zero steady-state allocations when the caller recycles the result buffer.
+func TestVPTreeSearchAppendZeroAllocs(t *testing.T) {
+	const k = 10
+	tree, queries := buildAllocTree(t)
+	s := index.SearcherProvider[[]float32](tree).NewSearcher()
+	dst := make([]topk.Neighbor, 0, k)
+	// Warm every query: each may deepen the frontier stack a little.
+	for _, q := range queries {
+		dst = s.SearchAppend(dst[:0], q, k)
+	}
+	qi := 0
+	if avg := testing.AllocsPerRun(50, func() {
+		dst = s.SearchAppend(dst[:0], queries[qi%len(queries)], k)
+		qi++
+	}); avg != 0 {
+		t.Errorf("warm SearchAppend allocates %v times per run, want 0", avg)
+	}
+}
+
+// TestVPTreeSearchSingleAlloc: plain Search costs at most the documented
+// one allocation (the result slice) on a warm tree.
+func TestVPTreeSearchSingleAlloc(t *testing.T) {
+	const k = 10
+	tree, queries := buildAllocTree(t)
+	for _, q := range queries {
+		tree.Search(q, k)
+	}
+	qi := 0
+	if avg := testing.AllocsPerRun(50, func() {
+		tree.Search(queries[qi%len(queries)], k)
+		qi++
+	}); avg > 1 {
+		t.Errorf("warm Search allocates %v times per run, want <= 1 (the result slice)", avg)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/index"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -71,6 +72,10 @@ type Tree[T any] struct {
 	symmetric bool
 	// buildDist counts distance computations performed at build time.
 	buildDist int64
+	// pool recycles per-query traversal state (frontier stack + top-k
+	// queue) across Search calls, keeping the warm query path at the one
+	// allocation of the returned result slice.
+	pool scratch.Pool[searchScratch]
 }
 
 type node struct {
@@ -168,55 +173,119 @@ func (t *Tree[T]) Stats() index.Stats {
 	}
 }
 
+// searchScratch is the reusable per-query traversal state: the explicit
+// frontier stack standing in for the old recursion, and the bounded top-k
+// queue. The zero value is ready; both buffers grow to their high-water
+// mark once and are reused query after query. Trees do not need an
+// epoch-stamped visited arena (unlike the graph traversals): a tree visits
+// each node at most once by construction.
+type searchScratch struct {
+	stack []frame
+	q     topk.Queue
+}
+
+// frame is one deferred traversal step. A fresh frame (revisit false)
+// expands the node; a revisit frame re-evaluates the pruning rule for the
+// node's far child *after* the near subtree has been fully searched, with
+// the then-current queue bound — exactly the order and pruning decisions of
+// the recursive formulation.
+type frame struct {
+	n       *node
+	dq      float64 // query-pivot distance in pruning direction (revisit only)
+	revisit bool
+}
+
 // Search returns the (approximate, when alpha > 1 or the space is
 // non-metric) k nearest neighbors of query.
 func (t *Tree[T]) Search(query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return nil
 	}
-	q := topk.NewQueue(k)
-	t.search(t.root, query, q)
-	return q.Results()
+	s := t.pool.Get()
+	defer t.pool.Put(s)
+	t.searchInto(s, query, k)
+	return s.q.Results()
 }
 
-func (t *Tree[T]) search(n *node, query T, q *topk.Queue) {
-	if n == nil {
-		return
-	}
-	if n.bucket != nil {
-		for _, id := range n.bucket {
-			q.Push(id, t.sp.Distance(t.data[id], query))
-		}
-		return
-	}
-	dq := t.sp.Distance(t.data[n.pivot], query)
-	q.Push(n.pivot, dq)
-	// Pruning compares against ball radii built from d(x, pivot); for
-	// asymmetric spaces measure the query in the same direction.
-	if !t.symmetric {
-		dq = t.sp.Distance(query, t.data[n.pivot])
-	}
+// NewSearcher implements index.SearcherProvider: the returned handle owns
+// its traversal scratch exclusively, so a worker cycling queries through it
+// reuses one stack and queue with zero steady-state allocations (the
+// AllocsPerRun guard in alloc_test.go holds it to that).
+func (t *Tree[T]) NewSearcher() index.Searcher[T] {
+	return &treeSearcher[T]{t: t}
+}
 
-	r := math.Inf(1)
-	if bound, ok := q.Bound(); ok {
-		r = bound
+// treeSearcher is the per-worker query handle; not safe for concurrent use.
+type treeSearcher[T any] struct {
+	t *Tree[T]
+	s searchScratch
+}
+
+// Search implements index.Searcher.
+func (ts *treeSearcher[T]) Search(query T, k int) []topk.Neighbor {
+	return ts.SearchAppend(nil, query, k)
+}
+
+// SearchAppend implements index.Searcher: results are appended to dst; with
+// sufficient capacity a warm call does not allocate.
+func (ts *treeSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return dst
 	}
-	if dq <= n.radius {
-		// Query inside the ball: search left first.
-		t.search(n.left, query, q)
-		if bound, ok := q.Bound(); ok {
-			r = bound
+	ts.t.searchInto(&ts.s, query, k)
+	return ts.s.q.AppendResults(dst)
+}
+
+// searchInto runs the k-NN traversal, leaving the results in s.q. The
+// iterative schedule replays the recursion exactly: a node's near child
+// (and its whole subtree) is processed before the node's revisit frame
+// decides — with the updated bound — whether the far child is pruned.
+func (t *Tree[T]) searchInto(s *searchScratch, query T, k int) {
+	s.q.Reset(k)
+	s.stack = append(s.stack[:0], frame{n: t.root})
+	for len(s.stack) > 0 {
+		f := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		n := f.n
+		if n == nil {
+			continue
 		}
-		if !t.pruneRight(n.radius, dq, r) {
-			t.search(n.right, query, q)
+		if f.revisit {
+			r := math.Inf(1)
+			if bound, ok := s.q.Bound(); ok {
+				r = bound
+			}
+			if f.dq <= n.radius {
+				if !t.pruneRight(n.radius, f.dq, r) {
+					s.stack = append(s.stack, frame{n: n.right})
+				}
+			} else {
+				if !t.pruneLeft(n.radius, f.dq, r) {
+					s.stack = append(s.stack, frame{n: n.left})
+				}
+			}
+			continue
 		}
-	} else {
-		t.search(n.right, query, q)
-		if bound, ok := q.Bound(); ok {
-			r = bound
+		if n.bucket != nil {
+			for _, id := range n.bucket {
+				s.q.Push(id, t.sp.Distance(t.data[id], query))
+			}
+			continue
 		}
-		if !t.pruneLeft(n.radius, dq, r) {
-			t.search(n.left, query, q)
+		dq := t.sp.Distance(t.data[n.pivot], query)
+		s.q.Push(n.pivot, dq)
+		// Pruning compares against ball radii built from d(x, pivot); for
+		// asymmetric spaces measure the query in the same direction.
+		if !t.symmetric {
+			dq = t.sp.Distance(query, t.data[n.pivot])
+		}
+		// Near child first; the revisit frame beneath it on the stack
+		// fires once the near subtree is exhausted.
+		s.stack = append(s.stack, frame{n: n, dq: dq, revisit: true})
+		if dq <= n.radius {
+			s.stack = append(s.stack, frame{n: n.left})
+		} else {
+			s.stack = append(s.stack, frame{n: n.right})
 		}
 	}
 }

@@ -4,16 +4,23 @@
 #
 # Usage: scripts/bench.sh [OUT.json] [BENCHTIME]
 #
+# The output name comes from the first argument, then the BENCH_OUT
+# environment variable, then the current PR's default — so `make bench`
+# writes the trajectory point for this PR and one-off runs can redirect
+# anywhere (BENCH_OUT=/tmp/x.json scripts/bench.sh).
+#
 # Runs BenchmarkSearchHot (internal/core) with -benchmem and converts the
 # output into a JSON document holding, per method: ns/op, B/op, allocs/op
-# and the implied single-thread QPS. Successive PRs commit successive
-# BENCH_<PR>.json files, so the allocation and latency history of the hot
-# path stays reviewable in-repo. CI runs a short non-gating pass (see
-# `make bench-smoke`) to keep the harness from rotting.
+# and the implied single-thread QPS (the napp-sharded3 row is the
+# scatter-gather router over 3 shards, tracked against its unsharded napp
+# twin). Successive PRs commit successive BENCH_<PR>.json files, so the
+# allocation and latency history of the hot path stays reviewable in-repo.
+# CI runs a short non-gating pass (see `make bench-smoke`) to keep the
+# harness from rotting.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-${BENCH_OUT:-BENCH_PR5.json}}"
 benchtime="${2:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
