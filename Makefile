@@ -4,7 +4,13 @@
 
 GO ?= go
 
-.PHONY: build test race bench bench-engine bench-smoke vet fmt check fuzz serve-smoke shard-smoke ci
+# Pinned linter/scanner versions; CI installs exactly these (cached), local
+# runs skip with a notice when the tool is absent (the container has no
+# network to install from).
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: build test race bench bench-engine bench-smoke vet fmt staticcheck govulncheck check fuzz serve-smoke shard-smoke rollout-smoke ci
 
 build:
 	$(GO) build ./...
@@ -16,8 +22,20 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# Static gate: formatting + vet, exactly as CI runs them.
-check: fmt vet
+# staticcheck/govulncheck run when installed (CI pins them via
+# STATICCHECK_VERSION/GOVULNCHECK_VERSION; `go install
+# honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)` locally), and
+# skip with a notice otherwise so `make ci` works on a network-less box.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck: not installed, skipping (CI pins $(STATICCHECK_VERSION))"; fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+	else echo "govulncheck: not installed, skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
+
+# Static gate: formatting + vet + linters, exactly as CI runs them.
+check: fmt vet staticcheck govulncheck
 
 # -shuffle randomizes test order within each package on every run, so
 # accidental inter-test state dependence fails fast instead of festering.
@@ -28,10 +46,11 @@ test:
 # SW/NN-descent graph construction goroutines, the cross-index conformance
 # suite (whose concurrent-Search property puts every index kind under
 # simultaneous queries), the serving layer (concurrent clients + hot-reload
-# hammering), and the scatter-gather router (per-query shard fan-out +
-# hedged HTTP attempts).
+# hammering), the scatter-gather router (per-query replica-group fan-out,
+# failover, ejection + background re-admission probing, hedged HTTP
+# attempts), and the rollout driver (reloads racing live router traffic).
 race:
-	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/server/... ./internal/router/...
+	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/server/... ./internal/router/... ./internal/rollout/...
 
 # Short coverage-guided fuzz of the index-file decoder: corrupt blobs must
 # error, never panic or over-allocate. The checked-in seed corpus lives in
@@ -75,4 +94,17 @@ shard-smoke:
 	$(GO) build -o bin/shardsplit ./cmd/shardsplit
 	./scripts/shard_smoke.sh bin
 
-ci: check build test race fuzz serve-smoke shard-smoke
+# End-to-end smoke of the replicated tier + rollout control plane: a
+# 2-shard x 2-replica fleet behind permrouter -topology, one replica killed
+# mid-traffic (answers stay byte-identical and non-partial), then permctl
+# ships a new generation through (dead replica skipped, generation vector
+# converges) and a regressed generation is automatically rolled back by the
+# golden recall gate.
+rollout-smoke:
+	$(GO) build -o bin/permserve ./cmd/permserve
+	$(GO) build -o bin/permrouter ./cmd/permrouter
+	$(GO) build -o bin/shardsplit ./cmd/shardsplit
+	$(GO) build -o bin/permctl ./cmd/permctl
+	./scripts/rollout_smoke.sh bin
+
+ci: check build test race fuzz serve-smoke shard-smoke rollout-smoke bench-smoke

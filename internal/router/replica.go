@@ -1,0 +1,208 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// maxShardResponseBytes caps what the router will read back from one
+// replica; matches the serving daemon's own request cap.
+const maxShardResponseBytes = 64 << 20
+
+// replica is one serving process inside a shard's replica group: its HTTP
+// client, lifetime counters, and health state. The embedded http.Client
+// pools connections (keep-alives on by default), so steady-state queries
+// reuse sockets instead of re-dialing per request.
+//
+// Health state is two words updated lock-free from the query path: an
+// infrastructure failure bumps consecFails, and crossing the group's
+// ejection threshold flips ejected — after which the group stops routing
+// regular traffic here (the replica only sees last-resort attempts) until
+// the router's background prober sees /healthz answer 200 again.
+type replica struct {
+	shard, id int    // shard index, replica position within the group
+	base      string // e.g. "http://10.0.0.1:8080", no trailing slash
+	// client serves queries under the per-shard timeout; health probes use
+	// a tighter budget so a wedged replica cannot stall readiness checks.
+	client *http.Client
+	health *http.Client
+
+	requests    atomic.Int64 // search attempts routed here (hedges included)
+	failures    atomic.Int64 // search calls that returned no usable answer
+	hedges      atomic.Int64 // speculative attempts launched against this replica
+	latencyNs   atomic.Int64 // cumulative per-call wall time
+	consecFails atomic.Int32 // consecutive infrastructure failures
+	ejected     atomic.Bool  // out of the regular rotation until re-admitted
+}
+
+func newReplica(shardIdx, id int, base string, timeout time.Duration) *replica {
+	return &replica{
+		shard:  shardIdx,
+		id:     id,
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Timeout: timeout},
+		health: &http.Client{Timeout: min(timeout, 2*time.Second)},
+	}
+}
+
+// shardFailure is an infrastructure failure of one replica (transport
+// error, timeout, or 5xx): the group fails over to the next replica, and
+// the degraded-mode policy (fail-open vs fail-closed) applies only when a
+// whole group is exhausted. Client-caused rejections are clientError.
+type shardFailure struct {
+	shard   int
+	replica int
+	status  int // HTTP status, 0 for transport errors
+	msg     string
+}
+
+func (e *shardFailure) Error() string {
+	if e.status != 0 {
+		return fmt.Sprintf("shard %d replica %d: status %d: %s", e.shard, e.replica, e.status, e.msg)
+	}
+	return fmt.Sprintf("shard %d replica %d: %s", e.shard, e.replica, e.msg)
+}
+
+// clientError is a replica's 4xx verdict on the request itself (malformed
+// query, bad params). A request malformed for one replica is malformed for
+// all — the router forwards the verdict as its own 400 and never counts it
+// against the replica.
+type clientError struct{ msg string }
+
+func (e *clientError) Error() string { return e.msg }
+
+// shardPayload is what one replica answered: exactly one of Results (single
+// query) or Batch is populated, already in wire shape with corpus-global
+// ids.
+type shardPayload struct {
+	Results []neighborJSON   `json:"results"`
+	Batch   [][]neighborJSON `json:"batch"`
+}
+
+// errorBody extracts the "error" field of a JSON error response, falling
+// back to the raw body.
+func errorBody(raw []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// search posts a query (or batch) body to this replica and decodes the
+// answer, updating the counters. Hedging and failover live one level up, in
+// the group (group.search): a replica only ever makes single attempts.
+func (r *replica) search(ctx context.Context, name string, body []byte) (*shardPayload, error) {
+	r.requests.Add(1)
+	start := time.Now()
+	defer func() { r.latencyNs.Add(time.Since(start).Nanoseconds()) }()
+
+	p, err := r.doSearch(ctx, name, body)
+	if err != nil {
+		if _, client := err.(*clientError); !client {
+			r.failures.Add(1)
+		}
+		return nil, err
+	}
+	return p, nil
+}
+
+// doSearch is one attempt: POST, classify the status, decode the payload.
+func (r *replica) doSearch(ctx context.Context, name string, body []byte) (*shardPayload, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		r.base+"/v1/indexes/"+url.PathEscape(name)+"/search", bytes.NewReader(body))
+	if err != nil {
+		return nil, &shardFailure{shard: r.shard, replica: r.id, msg: err.Error()}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, &shardFailure{shard: r.shard, replica: r.id, msg: err.Error()}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		return nil, &shardFailure{shard: r.shard, replica: r.id, msg: err.Error()}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var p shardPayload
+		if err := json.Unmarshal(raw, &p); err != nil {
+			return nil, &shardFailure{shard: r.shard, replica: r.id, msg: fmt.Sprintf("undecodable answer: %v", err)}
+		}
+		return &p, nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return nil, &clientError{msg: errorBody(raw)}
+	default:
+		return nil, &shardFailure{shard: r.shard, replica: r.id, status: resp.StatusCode, msg: errorBody(raw)}
+	}
+}
+
+// healthy probes the replica's /healthz readiness endpoint.
+func (r *replica) healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.health.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard %d replica %d: healthz status %d", r.shard, r.id, resp.StatusCode)
+	}
+	return nil
+}
+
+// backendIndex mirrors the serving daemon's /v1/indexes row, as much of it
+// as discovery validates.
+type backendIndex struct {
+	Name       string      `json:"name"`
+	Kind       string      `json:"kind"`
+	Space      string      `json:"space"`
+	N          uint64      `json:"n"`
+	Generation int64       `json:"generation"`
+	CorpusN    int         `json:"corpus_n"`
+	Shard      *shard.Info `json:"shard"`
+}
+
+// listIndexes fetches the replica's served index set.
+func (r *replica) listIndexes(ctx context.Context) ([]backendIndex, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/indexes", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing indexes: status %d: %s", resp.StatusCode, errorBody(raw))
+	}
+	var out struct {
+		Indexes []backendIndex `json:"indexes"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("listing indexes: %v", err)
+	}
+	return out.Indexes, nil
+}

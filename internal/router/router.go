@@ -19,66 +19,104 @@ const maxBodyBytes = 64 << 20
 
 // Options configure the HTTP scatter-gather front tier.
 type Options struct {
-	// Shards are the backend base URLs in shard order: Shards[i] must
-	// serve shard i of every routed index set. At least one is required.
+	// Shards are the backend base URLs in shard order, one replica per
+	// shard: Shards[i] must serve shard i of every routed index set. A
+	// shorthand for Replicas with single-member groups; exactly one of the
+	// two must be set.
 	Shards []string
-	// FailOpen selects the degraded mode when a shard is down: true
-	// answers from the surviving shards with "partial": true, false
+	// Replicas is the full shards × replicas topology: Replicas[i] lists
+	// the base URLs of shard i's replica group, every member serving the
+	// identical shard-i content. Groups spread load round-robin, hedge
+	// across members, and fail over on error, so one host loss inside a
+	// group never degrades the answer.
+	Replicas [][]string
+	// FailOpen selects the degraded mode when a whole shard group is down:
+	// true answers from the surviving shards with "partial": true, false
 	// answers 502. Default false (fail closed) — silently incomplete
 	// answers must be opted into.
 	FailOpen bool
 	// ShardTimeout bounds each per-shard call (default 10s).
 	ShardTimeout time.Duration
-	// HedgeDelay, when positive, launches a speculative second attempt
-	// against a shard that has not answered within the delay — tail
-	// latency insurance at the cost of duplicate work. 0 disables.
+	// HedgeDelay, when positive, launches a speculative attempt against
+	// the shard's *next* replica when the current one has not answered
+	// within the delay — tail latency insurance that does useful work on a
+	// different host instead of duplicating to the same one. 0 disables.
 	HedgeDelay time.Duration
+	// EjectAfter is the consecutive-infrastructure-failure count that
+	// takes a replica out of the regular rotation (default 3). An ejected
+	// replica is probed via /healthz and re-admitted when it answers.
+	EjectAfter int
+	// ProbeInterval is the cadence of the ejected-replica re-admission
+	// prober (default 2s).
+	ProbeInterval time.Duration
 	// Log receives routing events; nil means the process default logger.
 	Log *log.Logger
 }
 
 // routedIndex is one routable index name with what discovery learned about
 // it: per-shard metadata must agree on kind and space, and the shard sizes
-// sum to the full corpus.
+// sum to the full corpus. generations is the shard × replica generation
+// matrix, refreshed live by GET /v1/indexes (rollout drivers watch it
+// converge); guarded by Router.gensMu.
 type routedIndex struct {
 	kind        string
 	space       string
 	totalN      uint64
-	generations []int64 // per shard
+	generations [][]int64 // [shard][replica]
 }
 
-// Router is the scatter-gather HTTP front tier over S shard backends. It
-// speaks the same /v1/indexes/{name}/search wire dialect as the serving
-// daemon — to a client, a router over S shards is indistinguishable from
-// one big permserve (byte-identical answers included, see the package doc),
-// until a shard dies and the degraded-mode contract (Options.FailOpen)
-// becomes visible.
+// Router is the scatter-gather HTTP front tier over S shard replica
+// groups. It speaks the same /v1/indexes/{name}/search wire dialect as the
+// serving daemon — to a client, a router over S shards is indistinguishable
+// from one big permserve (byte-identical answers included, see the package
+// doc), even while individual replicas die and come back; only the loss of
+// an entire group makes the degraded-mode contract (Options.FailOpen)
+// visible.
 //
-// Create with New, which connects to every backend and validates the shard
-// topology; mount via Handler.
+// Create with New, which connects to every replica and validates the
+// topology; mount via Handler; Close stops the background health prober.
 type Router struct {
-	backends   []*backend
+	groups     []*group
 	indexes    map[string]*routedIndex
 	names      []string // sorted
+	gensMu     sync.Mutex
 	failOpen   bool
 	hedgeDelay time.Duration
 	timeout    time.Duration
 	log        *log.Logger
 	start      time.Time
 	mux        *http.ServeMux
+	stop       chan struct{}
+	stopOnce   sync.Once
 }
 
-// New builds a router over opts.Shards. It fetches every backend's index
-// list and refuses to start on an inconsistent topology: differing name
-// sets, mismatched kind/space for a name, or a shard stamp that contradicts
-// the backend's position — a miswired router would otherwise serve merged
-// nonsense that looks healthy.
+// New builds a router over the topology in opts. It fetches every replica's
+// index list and refuses to start on an inconsistent topology: differing
+// name sets, mismatched kind/space for a name, replicas of one shard
+// serving different subset sizes, or a shard stamp that contradicts the
+// group's position — a miswired router would otherwise serve merged
+// nonsense that looks healthy. Replica generations may differ within a
+// group (that is what a rollout in flight looks like).
 func New(opts Options) (*Router, error) {
-	if len(opts.Shards) == 0 {
+	topo := opts.Replicas
+	switch {
+	case len(topo) > 0 && len(opts.Shards) > 0:
+		return nil, fmt.Errorf("router: set exactly one of Shards and Replicas")
+	case len(topo) == 0 && len(opts.Shards) == 0:
 		return nil, fmt.Errorf("router: no shard backends")
+	case len(topo) == 0:
+		for _, u := range opts.Shards {
+			topo = append(topo, []string{u})
+		}
 	}
 	if opts.ShardTimeout <= 0 {
 		opts.ShardTimeout = 10 * time.Second
+	}
+	if opts.EjectAfter <= 0 {
+		opts.EjectAfter = 3
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 2 * time.Second
 	}
 	rt := &Router{
 		indexes:    map[string]*routedIndex{},
@@ -88,16 +126,25 @@ func New(opts Options) (*Router, error) {
 		log:        opts.Log,
 		start:      time.Now(),
 		mux:        http.NewServeMux(),
+		stop:       make(chan struct{}),
 	}
 	if rt.log == nil {
 		rt.log = log.Default()
 	}
-	for i, base := range opts.Shards {
-		rt.backends = append(rt.backends, newBackend(i, base, opts.ShardTimeout, opts.HedgeDelay))
+	for s, urls := range topo {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", s)
+		}
+		g := &group{shard: s, ejectAfter: int32(opts.EjectAfter), log: rt.log}
+		for ri, base := range urls {
+			g.replicas = append(g.replicas, newReplica(s, ri, base, opts.ShardTimeout))
+		}
+		rt.groups = append(rt.groups, g)
 	}
 	if err := rt.discover(); err != nil {
 		return nil, err
 	}
+	go rt.probeLoop(opts.ProbeInterval)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /statusz", rt.handleStatusz)
 	rt.mux.HandleFunc("GET /v1/indexes", rt.handleList)
@@ -111,47 +158,103 @@ func (rt *Router) Handler() http.Handler { return rt.mux }
 // Names lists the routable index names, sorted.
 func (rt *Router) Names() []string { return rt.names }
 
-// discover pulls and cross-validates every backend's index list.
+// Close stops the background re-admission prober. Safe to call more than
+// once; in-flight requests are unaffected.
+func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
+
+// probeLoop re-admits ejected replicas whose /healthz answers again. The
+// query path ejects; only this loop (or a successful last-resort attempt)
+// un-ejects — so a flapping host costs at most one probe interval of
+// absence, not a failed user query.
+func (rt *Router) probeLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			for _, g := range rt.groups {
+				for _, r := range g.replicas {
+					if !r.ejected.Load() {
+						continue
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					err := r.healthy(ctx)
+					cancel()
+					if err == nil {
+						r.consecFails.Store(0)
+						r.ejected.Store(false)
+						rt.log.Printf("router: shard %d replica %d (%s) re-admitted (healthz ok)", r.shard, r.id, r.base)
+					}
+				}
+			}
+		}
+	}
+}
+
+// discover pulls and cross-validates every replica's index list.
 func (rt *Router) discover() error {
 	ctx, cancel := context.WithTimeout(context.Background(), rt.timeout)
 	defer cancel()
-	S := len(rt.backends)
-	for i, b := range rt.backends {
-		rows, err := b.listIndexes(ctx)
-		if err != nil {
-			return fmt.Errorf("router: shard %d (%s): %w", i, b.base, err)
-		}
-		if i > 0 && len(rows) != len(rt.indexes) {
-			return fmt.Errorf("router: shard %d serves %d indexes, shard 0 serves %d", i, len(rows), len(rt.indexes))
-		}
-		for _, row := range rows {
-			ri := rt.indexes[row.Name]
-			if ri == nil {
-				if i > 0 {
-					return fmt.Errorf("router: shard %d serves index %q, shard 0 does not", i, row.Name)
-				}
-				ri = &routedIndex{kind: row.Kind, space: row.Space, generations: make([]int64, S)}
-				rt.indexes[row.Name] = ri
-				rt.names = append(rt.names, row.Name)
+	S := len(rt.groups)
+	first := true
+	for s, g := range rt.groups {
+		var groupN map[string]uint64
+		for ri, r := range g.replicas {
+			rows, err := r.listIndexes(ctx)
+			if err != nil {
+				return fmt.Errorf("router: shard %d replica %d (%s): %w", s, ri, r.base, err)
 			}
-			if row.Kind != ri.kind || row.Space != ri.space {
-				return fmt.Errorf("router: index %q is %s/%s on shard %d, %s/%s on shard 0",
-					row.Name, row.Kind, row.Space, i, ri.kind, ri.space)
+			if !first && len(rows) != len(rt.indexes) {
+				return fmt.Errorf("router: shard %d replica %d serves %d indexes, shard 0 replica 0 serves %d",
+					s, ri, len(rows), len(rt.indexes))
 			}
-			if st := row.Shard; st != nil {
-				if st.Shards != S {
-					return fmt.Errorf("router: index %q on shard %d belongs to a %d-shard set, router has %d backends",
-						row.Name, i, st.Shards, S)
-				}
-				if st.Index != i {
-					return fmt.Errorf("router: backend %d (%s) serves shard %d of index %q — backends wired out of order",
-						i, b.base, st.Index, row.Name)
-				}
-			} else {
-				rt.log.Printf("router: index %q on shard %d carries no shard stamp; trusting the operator that backends hold disjoint partitions", row.Name, i)
+			if groupN == nil {
+				groupN = make(map[string]uint64, len(rows))
 			}
-			ri.totalN += row.N
-			ri.generations[i] = row.Generation
+			for _, row := range rows {
+				idx := rt.indexes[row.Name]
+				if idx == nil {
+					if !first {
+						return fmt.Errorf("router: shard %d replica %d serves index %q, shard 0 replica 0 does not", s, ri, row.Name)
+					}
+					idx = &routedIndex{kind: row.Kind, space: row.Space, generations: make([][]int64, S)}
+					for gs, gg := range rt.groups {
+						idx.generations[gs] = make([]int64, len(gg.replicas))
+					}
+					rt.indexes[row.Name] = idx
+					rt.names = append(rt.names, row.Name)
+				}
+				if row.Kind != idx.kind || row.Space != idx.space {
+					return fmt.Errorf("router: index %q is %s/%s on shard %d replica %d, %s/%s on shard 0 replica 0",
+						row.Name, row.Kind, row.Space, s, ri, idx.kind, idx.space)
+				}
+				if st := row.Shard; st != nil {
+					if st.Shards != S {
+						return fmt.Errorf("router: index %q on shard %d replica %d belongs to a %d-shard set, router has %d shard groups",
+							row.Name, s, ri, st.Shards, S)
+					}
+					if st.Index != s {
+						return fmt.Errorf("router: shard %d replica %d (%s) serves shard %d of index %q — backends wired out of order",
+							s, ri, r.base, st.Index, row.Name)
+					}
+				} else if ri == 0 {
+					rt.log.Printf("router: index %q on shard %d carries no shard stamp; trusting the operator that shard groups hold disjoint partitions", row.Name, s)
+				}
+				// Replicas of one shard must serve the same subset; their
+				// generations are free to differ (a rollout in flight).
+				if prevN, seen := groupN[row.Name]; seen && prevN != row.N {
+					return fmt.Errorf("router: index %q has n=%d on shard %d replica %d but n=%d on replica 0 — replicas serve different content",
+						row.Name, row.N, s, ri, prevN)
+				}
+				groupN[row.Name] = row.N
+				if ri == 0 {
+					idx.totalN += row.N
+				}
+				idx.generations[s][ri] = row.Generation
+			}
+			first = false
 		}
 	}
 	if len(rt.names) == 0 {
@@ -197,61 +300,99 @@ type batchResponse struct {
 	FailedShards []int            `json:"failed_shards,omitempty"`
 }
 
+// handleHealthz probes every replica and answers ready as long as each
+// shard group still has at least one healthy member — the condition under
+// which the router can produce complete, non-partial answers. Down replicas
+// are reported either way, so an operator (or the rollout driver's
+// readiness gate) sees a thinning group before it empties.
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	errs := make([]error, len(rt.backends))
+	type probe struct {
+		g   *group
+		rep *replica
+		err error
+	}
+	var probes []*probe
+	for _, g := range rt.groups {
+		for _, rep := range g.replicas {
+			probes = append(probes, &probe{g: g, rep: rep})
+		}
+	}
 	var wg sync.WaitGroup
-	for i, b := range rt.backends {
+	for _, p := range probes {
 		wg.Add(1)
-		go func(i int, b *backend) {
+		go func(p *probe) {
 			defer wg.Done()
-			errs[i] = b.healthy(ctx)
-		}(i, b)
+			p.err = p.rep.healthy(ctx)
+		}(p)
 	}
 	wg.Wait()
 	var down []map[string]any
-	for i, err := range errs {
-		if err != nil {
-			down = append(down, map[string]any{"shard": i, "url": rt.backends[i].base, "error": err.Error()})
+	healthyPerShard := make([]int, len(rt.groups))
+	for _, p := range probes {
+		if p.err != nil {
+			down = append(down, map[string]any{
+				"shard": p.rep.shard, "replica": p.rep.id, "url": p.rep.base, "error": p.err.Error(),
+			})
+		} else {
+			healthyPerShard[p.rep.shard]++
+		}
+	}
+	for s, n := range healthyPerShard {
+		if n == 0 {
+			rt.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready": false, "empty_shard": s, "down": down,
+			})
+			return
 		}
 	}
 	if len(down) > 0 {
-		rt.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "down": down})
+		// Degraded but ready: every shard still has a live replica.
+		rt.writeJSON(w, http.StatusOK, map[string]any{"ready": true, "down": down})
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }
 
-// shardStatus is one row of GET /statusz.
-type shardStatus struct {
+// replicaStatus is one row of GET /statusz: one replica's counters and
+// health state.
+type replicaStatus struct {
 	Shard         int     `json:"shard"`
+	Replica       int     `json:"replica"`
 	URL           string  `json:"url"`
 	Requests      int64   `json:"requests"`
 	Failures      int64   `json:"failures"`
 	Hedges        int64   `json:"hedges"`
+	Ejected       bool    `json:"ejected"`
+	ConsecFails   int32   `json:"consecutive_failures"`
 	QPS           float64 `json:"qps"`
 	MeanLatencyUs float64 `json:"mean_latency_us"`
 }
 
 func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	uptime := time.Since(rt.start)
-	rows := make([]shardStatus, len(rt.backends))
-	for i, b := range rt.backends {
-		row := shardStatus{
-			Shard:    i,
-			URL:      b.base,
-			Requests: b.requests.Load(),
-			Failures: b.failures.Load(),
-			Hedges:   b.hedges.Load(),
+	var rows []replicaStatus
+	for _, g := range rt.groups {
+		for _, rep := range g.replicas {
+			row := replicaStatus{
+				Shard:       rep.shard,
+				Replica:     rep.id,
+				URL:         rep.base,
+				Requests:    rep.requests.Load(),
+				Failures:    rep.failures.Load(),
+				Hedges:      rep.hedges.Load(),
+				Ejected:     rep.ejected.Load(),
+				ConsecFails: rep.consecFails.Load(),
+			}
+			if up := uptime.Seconds(); up > 0 {
+				row.QPS = float64(row.Requests) / up
+			}
+			if row.Requests > 0 {
+				row.MeanLatencyUs = float64(rep.latencyNs.Load()) / float64(row.Requests) / 1e3
+			}
+			rows = append(rows, row)
 		}
-		if up := uptime.Seconds(); up > 0 {
-			row.QPS = float64(row.Requests) / up
-		}
-		if row.Requests > 0 {
-			row.MeanLatencyUs = float64(b.latencyNs.Load()) / float64(row.Requests) / 1e3
-		}
-		rows[i] = row
 	}
 	rt.writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s":       uptime.Seconds(),
@@ -263,27 +404,76 @@ func (rt *Router) handleStatusz(w http.ResponseWriter, r *http.Request) {
 }
 
 // routerIndexInfo is one row of the router's GET /v1/indexes: the merged
-// view (total corpus size, per-shard generations) rather than any one
-// shard's.
+// view (total corpus size, shard × replica generation matrix) rather than
+// any one replica's.
 type routerIndexInfo struct {
-	Name        string  `json:"name"`
-	Kind        string  `json:"kind"`
-	Space       string  `json:"space"`
-	N           uint64  `json:"n"`
-	Shards      int     `json:"shards"`
-	Generations []int64 `json:"generations"`
+	Name        string    `json:"name"`
+	Kind        string    `json:"kind"`
+	Space       string    `json:"space"`
+	N           uint64    `json:"n"`
+	Shards      int       `json:"shards"`
+	Generations [][]int64 `json:"generations"`
 }
 
+// handleList answers the merged index listing with *live* generation
+// vectors: every replica is re-polled so a rollout driver watching the
+// matrix converge sees what each process serves right now, not what
+// discovery saw at startup. A replica that fails the poll keeps its last
+// known generation (the matrix never shrinks mid-roll).
 func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	rt.refreshGenerations(r.Context())
+	rt.gensMu.Lock()
 	infos := make([]routerIndexInfo, 0, len(rt.names))
 	for _, name := range rt.names {
-		ri := rt.indexes[name]
+		idx := rt.indexes[name]
+		gens := make([][]int64, len(idx.generations))
+		for s := range idx.generations {
+			gens[s] = append([]int64(nil), idx.generations[s]...)
+		}
 		infos = append(infos, routerIndexInfo{
-			Name: name, Kind: ri.kind, Space: ri.space,
-			N: ri.totalN, Shards: len(rt.backends), Generations: ri.generations,
+			Name: name, Kind: idx.kind, Space: idx.space,
+			N: idx.totalN, Shards: len(rt.groups), Generations: gens,
 		})
 	}
+	rt.gensMu.Unlock()
 	rt.writeJSON(w, http.StatusOK, map[string]any{"indexes": infos})
+}
+
+// refreshGenerations re-polls every replica's index list and updates the
+// cached generation matrix for the replicas that answered.
+func (rt *Router) refreshGenerations(ctx context.Context) {
+	ctx, cancel := context.WithTimeout(ctx, min(rt.timeout, 5*time.Second))
+	defer cancel()
+	type update struct {
+		shard, replica int
+		rows           []backendIndex
+	}
+	ch := make(chan update, len(rt.groups)*4)
+	var wg sync.WaitGroup
+	for _, g := range rt.groups {
+		for _, rep := range g.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				rows, err := rep.listIndexes(ctx)
+				if err != nil {
+					return
+				}
+				ch <- update{shard: rep.shard, replica: rep.id, rows: rows}
+			}(rep)
+		}
+	}
+	wg.Wait()
+	close(ch)
+	rt.gensMu.Lock()
+	defer rt.gensMu.Unlock()
+	for u := range ch {
+		for _, row := range u.rows {
+			if idx := rt.indexes[row.Name]; idx != nil {
+				idx.generations[u.shard][u.replica] = row.Generation
+			}
+		}
+	}
 }
 
 func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -326,17 +516,19 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	// Scatter: the original body is forwarded verbatim — every shard
 	// decodes the same queries and applies the same per-request params.
+	// One leg per shard group; the group picks replicas, hedges, and fails
+	// over internally.
 	ctx, cancel := context.WithTimeout(r.Context(), rt.timeout)
 	defer cancel()
-	payloads := make([]*shardPayload, len(rt.backends))
-	errs := make([]error, len(rt.backends))
+	payloads := make([]*shardPayload, len(rt.groups))
+	errs := make([]error, len(rt.groups))
 	var wg sync.WaitGroup
-	for i, b := range rt.backends {
+	for i, g := range rt.groups {
 		wg.Add(1)
-		go func(i int, b *backend) {
+		go func(i int, g *group) {
 			defer wg.Done()
-			payloads[i], errs[i] = b.search(ctx, name, body)
-		}(i, b)
+			payloads[i], errs[i] = g.search(ctx, name, body, rt.hedgeDelay)
+		}(i, g)
 	}
 	wg.Wait()
 
@@ -371,16 +563,16 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		for _, i := range failed {
 			rt.log.Printf("router: %v", errs[i])
 		}
-		if !rt.failOpen || len(failed) == len(rt.backends) {
+		if !rt.failOpen || len(failed) == len(rt.groups) {
 			rt.writeError(w, http.StatusBadGateway,
-				fmt.Sprintf("%d/%d shards failed: %v", len(failed), len(rt.backends), errs[failed[0]]))
+				fmt.Sprintf("%d/%d shards failed: %v", len(failed), len(rt.groups), errs[failed[0]]))
 			return
 		}
 	}
 
 	// Gather: canonical (dist, id) merge of the surviving shards.
 	if req.Query != nil {
-		parts := make([][]topk.Neighbor, 0, len(rt.backends))
+		parts := make([][]topk.Neighbor, 0, len(rt.groups))
 		for _, p := range payloads {
 			if p != nil {
 				parts = append(parts, fromJSON(p.Results))
@@ -395,7 +587,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	batch := make([][]neighborJSON, numQueries)
 	var buf []topk.Neighbor
-	parts := make([][]topk.Neighbor, 0, len(rt.backends))
+	parts := make([][]topk.Neighbor, 0, len(rt.groups))
 	for qi := 0; qi < numQueries; qi++ {
 		parts = parts[:0]
 		for _, p := range payloads {

@@ -302,7 +302,7 @@ func TestRouterClientErrors(t *testing.T) {
 }
 
 // TestRouterList: the merged index listing reports the full corpus size and
-// per-shard generations.
+// the per-shard × per-replica generation matrix.
 func TestRouterList(t *testing.T) {
 	shards, _, _ := bootShardSet(t, 3)
 	rt := bootRouter(t, shards, router.Options{})
@@ -313,10 +313,10 @@ func TestRouterList(t *testing.T) {
 	defer resp.Body.Close()
 	var list struct {
 		Indexes []struct {
-			Name        string  `json:"name"`
-			N           uint64  `json:"n"`
-			Shards      int     `json:"shards"`
-			Generations []int64 `json:"generations"`
+			Name        string    `json:"name"`
+			N           uint64    `json:"n"`
+			Shards      int       `json:"shards"`
+			Generations [][]int64 `json:"generations"`
 		} `json:"indexes"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
@@ -329,8 +329,13 @@ func TestRouterList(t *testing.T) {
 	if got.Name != rtName || got.N != rtN || got.Shards != 3 {
 		t.Fatalf("listing = %+v", got)
 	}
-	if len(got.Generations) != 3 || got.Generations[0] != 10 || got.Generations[2] != 12 {
+	if len(got.Generations) != 3 {
 		t.Fatalf("generations = %v", got.Generations)
+	}
+	for s, want := range []int64{10, 11, 12} {
+		if len(got.Generations[s]) != 1 || got.Generations[s][0] != want {
+			t.Fatalf("shard %d generations = %v, want [%d]", s, got.Generations[s], want)
+		}
 	}
 }
 

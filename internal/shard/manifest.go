@@ -138,10 +138,14 @@ func ReadSetManifest(path string) (*SetManifest, error) {
 	return &m, nil
 }
 
-// VerifyFiles re-checksums every shard index file against the manifest,
-// resolving relative paths against the manifest's directory dir. It returns
-// the first mismatch — the pre-flight a serving host runs after a snapshot
-// ships and before it reloads.
+// VerifyFiles re-checksums every shard index file against the manifest and
+// cross-checks each shard's serving sidecar, resolving relative paths
+// against the manifest's directory dir. It returns the first mismatch —
+// the pre-flight a serving host (or rollout driver) runs after a snapshot
+// ships and before it reloads. Beyond torn bytes (CRC), it catches
+// generation skew: a sidecar left over from an older build, or one whose
+// corpus identity or shard stamp contradicts the set, would load cleanly
+// and silently serve the wrong generation's answers.
 func (m *SetManifest) VerifyFiles(dir string) error {
 	for _, s := range m.Shards {
 		sum, err := FileChecksum(filepath.Join(dir, s.File))
@@ -152,6 +156,52 @@ func (m *SetManifest) VerifyFiles(dir string) error {
 			return fmt.Errorf("shard %d: %s has crc32c %08x, manifest records %08x (torn or stale ship?)",
 				s.Index, s.File, sum, s.CRC32C)
 		}
+		if err := m.verifySidecar(dir, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifySidecar checks one shard's serving sidecar against the set
+// manifest. The sidecar is a server.Manifest, decoded structurally here
+// (the server package sits above this one).
+func (m *SetManifest) verifySidecar(dir string, s SetShard) error {
+	blob, err := os.ReadFile(filepath.Join(dir, s.Manifest))
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", s.Index, err)
+	}
+	var side struct {
+		Dataset    string `json:"dataset"`
+		Seed       int64  `json:"seed"`
+		N          int    `json:"n"`
+		Generation int64  `json:"generation"`
+		Shard      *Info  `json:"shard"`
+	}
+	if err := json.Unmarshal(blob, &side); err != nil {
+		return fmt.Errorf("shard %d: %s: %v", s.Index, s.Manifest, err)
+	}
+	if side.Generation != m.Generation {
+		return fmt.Errorf("shard %d: generation skew: sidecar %s records generation %d, set manifest records %d (stale sidecar?)",
+			s.Index, s.Manifest, side.Generation, m.Generation)
+	}
+	if side.Dataset != m.Dataset || side.Seed != m.Seed || side.N != m.N {
+		return fmt.Errorf("shard %d: sidecar %s describes corpus %s/seed %d/n %d, set manifest %s/seed %d/n %d",
+			s.Index, s.Manifest, side.Dataset, side.Seed, side.N, m.Dataset, m.Seed, m.N)
+	}
+	if side.Shard == nil {
+		// A single-shard set is the unsharded baseline, written unstamped
+		// by design; a multi-shard sidecar without a stamp would serve
+		// global ids for a subset corpus.
+		if len(m.Shards) == 1 {
+			return nil
+		}
+		return fmt.Errorf("shard %d: sidecar %s carries no shard stamp", s.Index, s.Manifest)
+	}
+	if side.Shard.Set != m.Set || side.Shard.Partitioner != m.Partitioner ||
+		side.Shard.Shards != len(m.Shards) || side.Shard.Index != s.Index {
+		return fmt.Errorf("shard %d: sidecar %s stamp %+v contradicts the set manifest (set %s, %s over %d shards)",
+			s.Index, s.Manifest, *side.Shard, m.Set, m.Partitioner, len(m.Shards))
 	}
 	return nil
 }

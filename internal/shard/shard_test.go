@@ -1,8 +1,10 @@
 package shard
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -123,35 +125,44 @@ func TestInfoValidate(t *testing.T) {
 	}
 }
 
-// TestSetManifestRoundtrip writes, re-reads and CRC-verifies a manifest.
-func TestSetManifestRoundtrip(t *testing.T) {
-	dir := t.TempDir()
-	// Two fake shard files standing in for .psix blobs.
+// writeFakeSet lays out a 2-shard fake set on disk — stand-in .psix blobs
+// plus consistent serving sidecars — and returns its manifest.
+func writeFakeSet(t *testing.T, dir string) *SetManifest {
+	t.Helper()
+	m := &SetManifest{
+		Set: "demo", Kind: "vptree", Dataset: "dna", Seed: 42, N: 10,
+		Partitioner: Hash, Generation: 3,
+	}
+	sizes := []int{6, 4}
 	for i, contents := range []string{"shard-zero-bytes", "shard-one-bytes"} {
-		sub := filepath.Join(dir, "shard"+string(rune('0'+i)))
+		sub := filepath.Join(dir, fmt.Sprintf("shard%d", i))
 		if err := os.MkdirAll(sub, 0o755); err != nil {
 			t.Fatal(err)
 		}
 		if err := os.WriteFile(filepath.Join(sub, "demo.psix"), []byte(contents), 0o644); err != nil {
 			t.Fatal(err)
 		}
+		sidecar := fmt.Sprintf(`{"dataset":"dna","seed":42,"n":10,"generation":3,`+
+			`"shard":{"set":"demo","partitioner":"hash","shards":2,"index":%d}}`, i)
+		if err := os.WriteFile(filepath.Join(sub, "demo.json"), []byte(sidecar), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		crc, err := FileChecksum(filepath.Join(sub, "demo.psix"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Shards = append(m.Shards, SetShard{
+			Index: i, File: fmt.Sprintf("shard%d/demo.psix", i),
+			Manifest: fmt.Sprintf("shard%d/demo.json", i), N: sizes[i], CRC32C: crc,
+		})
 	}
-	crc0, err := FileChecksum(filepath.Join(dir, "shard0", "demo.psix"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	crc1, err := FileChecksum(filepath.Join(dir, "shard1", "demo.psix"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	m := &SetManifest{
-		Set: "demo", Kind: "vptree", Dataset: "dna", Seed: 42, N: 10,
-		Partitioner: Hash, Generation: 3,
-		Shards: []SetShard{
-			{Index: 0, File: "shard0/demo.psix", Manifest: "shard0/demo.json", N: 6, CRC32C: crc0},
-			{Index: 1, File: "shard1/demo.psix", Manifest: "shard1/demo.json", N: 4, CRC32C: crc1},
-		},
-	}
+	return m
+}
+
+// TestSetManifestRoundtrip writes, re-reads and verifies a manifest.
+func TestSetManifestRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	m := writeFakeSet(t, dir)
 	path, err := WriteSetManifest(dir, m)
 	if err != nil {
 		t.Fatal(err)
@@ -166,12 +177,97 @@ func TestSetManifestRoundtrip(t *testing.T) {
 	if err := back.VerifyFiles(dir); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt one shard file: verification must name the mismatch.
-	if err := os.WriteFile(filepath.Join(dir, "shard1", "demo.psix"), []byte("torn"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if err := back.VerifyFiles(dir); err == nil {
-		t.Fatal("VerifyFiles accepted a corrupted shard file")
+}
+
+// TestVerifyFilesErrorPaths: the pre-flight must catch every way shipped
+// bytes can lie — truncated or corrupted shard files, and sidecars from
+// the wrong build (generation skew, wrong corpus, contradictory or missing
+// shard stamps).
+func TestVerifyFilesErrorPaths(t *testing.T) {
+	for name, tc := range map[string]struct {
+		sabotage func(t *testing.T, dir string)
+		want     string // substring the error must carry
+	}{
+		"truncated shard file": {
+			sabotage: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, "shard1", "demo.psix"), []byte("sh"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "too short",
+		},
+		"corrupted shard file": {
+			// The flipped byte sits in the checksummed region (the last 4
+			// bytes are the trailer FileChecksum excludes).
+			sabotage: func(t *testing.T, dir string) {
+				if err := os.WriteFile(filepath.Join(dir, "shard1", "demo.psix"), []byte("shard-0ne-bytes"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "crc32c",
+		},
+		"missing shard file": {
+			sabotage: func(t *testing.T, dir string) {
+				if err := os.Remove(filepath.Join(dir, "shard0", "demo.psix")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "no such file",
+		},
+		"generation skew": {
+			sabotage: func(t *testing.T, dir string) {
+				stale := `{"dataset":"dna","seed":42,"n":10,"generation":2,` +
+					`"shard":{"set":"demo","partitioner":"hash","shards":2,"index":0}}`
+				if err := os.WriteFile(filepath.Join(dir, "shard0", "demo.json"), []byte(stale), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "generation skew",
+		},
+		"wrong corpus": {
+			sabotage: func(t *testing.T, dir string) {
+				wrong := `{"dataset":"dna","seed":99,"n":10,"generation":3,` +
+					`"shard":{"set":"demo","partitioner":"hash","shards":2,"index":0}}`
+				if err := os.WriteFile(filepath.Join(dir, "shard0", "demo.json"), []byte(wrong), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "seed",
+		},
+		"contradictory stamp": {
+			sabotage: func(t *testing.T, dir string) {
+				swapped := `{"dataset":"dna","seed":42,"n":10,"generation":3,` +
+					`"shard":{"set":"demo","partitioner":"hash","shards":2,"index":1}}`
+				if err := os.WriteFile(filepath.Join(dir, "shard0", "demo.json"), []byte(swapped), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "stamp",
+		},
+		"missing sidecar": {
+			sabotage: func(t *testing.T, dir string) {
+				if err := os.Remove(filepath.Join(dir, "shard1", "demo.json")); err != nil {
+					t.Fatal(err)
+				}
+			},
+			want: "no such file",
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			m := writeFakeSet(t, dir)
+			if err := m.VerifyFiles(dir); err != nil {
+				t.Fatalf("pristine set failed verification: %v", err)
+			}
+			tc.sabotage(t, dir)
+			err := m.VerifyFiles(dir)
+			if err == nil {
+				t.Fatal("VerifyFiles accepted the sabotaged set")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name the cause (want substring %q)", err, tc.want)
+			}
+		})
 	}
 }
 

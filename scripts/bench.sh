@@ -56,4 +56,9 @@ awk -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '
   }
 ' "$raw" > "$out"
 
+# Schema gate: the emitted document must parse against permsearch-bench/v1
+# (scripts/benchcheck), so an emitter/benchmark drift fails here, not in a
+# later reader.
+go run ./scripts/benchcheck "$out"
+
 echo "bench.sh: wrote $out ($(grep -c '"method"' "$out") methods)"

@@ -1,0 +1,98 @@
+// Command benchcheck validates a bench.sh output file against the
+// permsearch-bench/v1 schema: required identity fields, a non-empty result
+// set, and per-method numbers that are present and positive. bench.sh runs
+// it on every emit, so a drift between the awk emitter and the documented
+// schema (or a benchmark rename that silently empties the results) fails
+// the bench run instead of committing an unreadable trajectory point.
+//
+// Usage: go run ./scripts/benchcheck BENCH_X.json [...]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema is the bench document format benchcheck accepts.
+const Schema = "permsearch-bench/v1"
+
+type doc struct {
+	Schema    string `json:"schema"`
+	Bench     string `json:"bench"`
+	Timestamp string `json:"timestamp"`
+	Go        string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu"`
+	Results   []row  `json:"results"`
+}
+
+type row struct {
+	Method      string   `json:"method"`
+	NsPerOp     *float64 `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	QPS         *float64 `json:"qps"`
+}
+
+func check(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(blob))
+	dec.DisallowUnknownFields()
+	var d doc
+	if err := dec.Decode(&d); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if d.Schema != Schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, d.Schema, Schema)
+	}
+	for field, v := range map[string]string{
+		"bench": d.Bench, "timestamp": d.Timestamp, "go": d.Go, "goos": d.GOOS, "goarch": d.GOARCH,
+	} {
+		if v == "" {
+			return fmt.Errorf("%s: missing %q", path, field)
+		}
+	}
+	if len(d.Results) == 0 {
+		return fmt.Errorf("%s: no results (did the benchmark filter stop matching?)", path)
+	}
+	for i, r := range d.Results {
+		if r.Method == "" {
+			return fmt.Errorf("%s: results[%d]: missing method", path, i)
+		}
+		for name, v := range map[string]*float64{
+			"ns_per_op": r.NsPerOp, "bytes_per_op": r.BytesPerOp, "allocs_per_op": r.AllocsPerOp, "qps": r.QPS,
+		} {
+			if v == nil {
+				return fmt.Errorf("%s: results[%d] (%s): missing %s", path, i, r.Method, name)
+			}
+			if *v < 0 {
+				return fmt.Errorf("%s: results[%d] (%s): %s = %v is negative", path, i, r.Method, name, *v)
+			}
+		}
+		// A zero latency means the row did not really run.
+		if *r.NsPerOp == 0 || *r.QPS == 0 {
+			return fmt.Errorf("%s: results[%d] (%s): zero ns_per_op/qps", path, i, r.Method)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_X.json [...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		if err := check(path); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: %s ok\n", path)
+	}
+}

@@ -1,0 +1,162 @@
+#!/bin/sh
+# Smoke test of the replicated serving tier and its rollout control plane,
+# end to end over real processes:
+#
+#   shardsplit --> 2 shards x 2 replicas of permserve --> permrouter
+#                  1x permserve (unsharded baseline)
+#                  permctl (rollout driver)
+#
+# Asserts that killing one replica mid-traffic leaves the router's answers
+# byte-identical to the unsharded baseline and never "partial"; that
+# `permctl rollout` ships a new generation through the surviving fleet
+# (skipping the dead replica) and the generation vector converges; and
+# that rolling out a *regressed* index set (built over the wrong corpus)
+# fails the golden recall gate, rolls back automatically, and leaves the
+# fleet converged on the old generation. Run via `make rollout-smoke`.
+set -eu
+
+BIN=${1:?usage: rollout_smoke.sh path/to/bin-dir}
+TMP=$(mktemp -d)
+PIDS=""
+trap 'for p in $PIDS; do kill "$p" 2>/dev/null || true; done; rm -rf "$TMP"' EXIT INT TERM
+
+fail() {
+    echo "rollout-smoke: FAIL: $1" >&2
+    for f in "$TMP"/*.log; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2
+    done
+    exit 1
+}
+
+# wait_addr LOGFILE NAME -> echoes the bound address once logged.
+wait_addr() {
+    i=0
+    while [ $i -lt 50 ]; do
+        ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\).*#\1#p' "$1" | head -n1)
+        [ -n "$ADDR" ] && { echo "$ADDR"; return 0; }
+        sleep 0.2
+        i=$((i + 1))
+    done
+    fail "$2 never started listening"
+}
+
+# gen_of ADDR -> the generation the replica serves.
+gen_of() {
+    curl -sf "http://$1/v1/indexes" | sed -n 's/.*"generation":\([0-9]*\).*/\1/p' | head -n1
+}
+
+# 1. Build three generations of the same 2-shard DNA set plus an unsharded
+#    baseline: gen 1 (the fleet's starting state), gen 2 (a clean rebuild of
+#    the same corpus), and gen 3 built over the WRONG corpus (-seed 99) — a
+#    byte-valid set whose answers are garbage, catchable only by the golden
+#    recall gate.
+for SPEC in "gen1 1 42" "gen2 2 42" "gen3 3 99"; do
+    set -- $SPEC
+    "$BIN/shardsplit" -out "$TMP/$1" -set dna -dataset dna -n 1200 -shards 2 -method vptree \
+        -generation "$2" -seed "$3" >>"$TMP/split.log" 2>&1 || fail "shardsplit $1 failed"
+done
+"$BIN/shardsplit" -out "$TMP/base" -set dna -dataset dna -n 1200 -shards 1 -method vptree \
+    -generation 1 -seed 42 >>"$TMP/split.log" 2>&1 || fail "shardsplit baseline failed"
+
+# 2. Boot the fleet: each replica serves gen 1 from its own directory (the
+#    rollout driver ships bytes per replica dir), 2 shards x 2 replicas.
+for S in 0 1; do
+    for R in 0 1; do
+        DIR="$TMP/rep$S$R"
+        mkdir -p "$DIR"
+        cp "$TMP/gen1/shard$S/dna.psix" "$TMP/gen1/shard$S/dna.json" "$DIR/"
+        "$BIN/permserve" -dir "$DIR" -addr 127.0.0.1:0 >"$TMP/rep$S$R.log" 2>&1 &
+        eval "P$S$R=\$!"
+        PIDS="$PIDS $!"
+    done
+done
+"$BIN/permserve" -dir "$TMP/base/shard0" -addr 127.0.0.1:0 >"$TMP/base.log" 2>&1 &
+PIDS="$PIDS $!"
+A00=$(wait_addr "$TMP/rep00.log" "shard 0 replica 0")
+A01=$(wait_addr "$TMP/rep01.log" "shard 0 replica 1")
+A10=$(wait_addr "$TMP/rep10.log" "shard 1 replica 0")
+A11=$(wait_addr "$TMP/rep11.log" "shard 1 replica 1")
+AB=$(wait_addr "$TMP/base.log" "baseline")
+
+# 3. One topology file describes the fleet to both router and driver.
+cat >"$TMP/fleet.json" <<EOF
+{
+  "schema": "permsearch-topology/v1",
+  "shards": [
+    [{"url": "http://$A00", "dir": "$TMP/rep00"},
+     {"url": "http://$A01", "dir": "$TMP/rep01"}],
+    [{"url": "http://$A10", "dir": "$TMP/rep10"},
+     {"url": "http://$A11", "dir": "$TMP/rep11"}]
+  ]
+}
+EOF
+"$BIN/permrouter" -topology "$TMP/fleet.json" -addr 127.0.0.1:0 -eject-after 2 -probe-interval 500ms \
+    >"$TMP/rt.log" 2>&1 &
+RT_PID=$!
+PIDS="$PIDS $RT_PID"
+RT=$(wait_addr "$TMP/rt.log" "router")
+
+HEALTH=$(curl -sf "http://$RT/healthz") || fail "router healthz failed"
+[ "$HEALTH" = "ok" ] || fail "router healthz said '$HEALTH'"
+
+# 4. Replica-loss invisibility: kill shard 0's second replica mid-traffic.
+#    Answers must stay byte-identical to the unsharded baseline and never
+#    partial — the group fails over, unlike the single-replica tier where
+#    this was a degraded answer.
+kill "$P01" && wait "$P01" 2>/dev/null || true
+for BODY in \
+    '{"query": "ACGTACGTACGTACGT", "k": 5}' \
+    '{"query": "TTTTGGGGCCCCAAAA", "k": 3}' \
+    '{"queries": ["ACGTACGTAC", "GGGGGGGGGG"], "k": 4}'; do
+    ROUTED=$(curl -sf -d "$BODY" "http://$RT/v1/indexes/dna/search") || fail "router search failed with a dead replica: $BODY"
+    DIRECT=$(curl -sf -d "$BODY" "http://$AB/v1/indexes/dna/search") || fail "baseline search failed: $BODY"
+    [ "$ROUTED" = "$DIRECT" ] || fail "answer with a dead replica differs from the baseline
+  body:   $BODY
+  router: $ROUTED
+  direct: $DIRECT"
+    case "$ROUTED" in *partial*) fail "answer marked partial despite a live replica: $ROUTED" ;; esac
+done
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$RT/healthz")
+[ "$CODE" = "200" ] || fail "healthz answered $CODE with one dead replica of two, want 200 (degraded-but-ready)"
+
+# 5. Rollout: permctl ships generation 2 through the fleet. The dead
+#    replica is skipped with a warning; everyone else must converge.
+"$BIN/permctl" rollout -topology "$TMP/fleet.json" -manifest "$TMP/gen2/dna.shardset.json" \
+    -router "http://$RT" -golden 16 >"$TMP/roll2.log" 2>&1 || fail "rollout of generation 2 failed"
+grep -q '"rolled_back": false' "$TMP/roll2.log" || fail "generation 2 report claims a rollback"
+grep -q "http://$A01" "$TMP/roll2.log" || fail "dead replica not reported as skipped"
+for A in "$A00" "$A10" "$A11"; do
+    GEN=$(gen_of "$A")
+    [ "$GEN" = "2" ] || fail "replica $A serves generation '$GEN' after rollout, want 2"
+done
+
+# 6. Regression: generation 3 was built over the wrong corpus — its bytes
+#    verify clean, so only the golden recall gate can refuse it. permctl
+#    must fail, roll back automatically, and re-converge the fleet on 2.
+if "$BIN/permctl" rollout -topology "$TMP/fleet.json" -manifest "$TMP/gen3/dna.shardset.json" \
+    -router "http://$RT" -golden 16 >"$TMP/roll3.log" 2>&1; then
+    fail "rollout of the regressed generation 3 succeeded"
+fi
+grep -q '"rolled_back": true' "$TMP/roll3.log" || fail "regressed rollout did not report a rollback"
+grep -q 'recall' "$TMP/roll3.log" || fail "rollback report does not name the recall gate"
+for A in "$A00" "$A10" "$A11"; do
+    GEN=$(gen_of "$A")
+    [ "$GEN" = "2" ] || fail "replica $A serves generation '$GEN' after rollback, want 2"
+done
+
+# 7. The fleet still answers exactly like the baseline after the round trip
+#    (generation 2 is a clean rebuild of the same corpus).
+Q='{"query": "ACGTACGTACGTACGT", "k": 5}'
+ROUTED=$(curl -sf -d "$Q" "http://$RT/v1/indexes/dna/search") || fail "post-rollback search failed"
+DIRECT=$(curl -sf -d "$Q" "http://$AB/v1/indexes/dna/search") || fail "post-rollback baseline search failed"
+[ "$ROUTED" = "$DIRECT" ] || fail "post-rollback answer differs from the baseline"
+
+# 8. Graceful shutdown.
+kill "$RT_PID"
+STATUS=0
+wait "$RT_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || fail "router exited with status $STATUS on SIGTERM"
+grep -q "permrouter: bye" "$TMP/rt.log" || fail "no graceful router shutdown on SIGTERM"
+
+echo "rollout-smoke: OK (2x2 fleet behind $RT: replica loss invisible, gen 1->2 converged, regressed gen 3 rolled back)"
