@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race bench bench-engine bench-smoke vet fmt staticcheck govulncheck check fuzz serve-smoke shard-smoke rollout-smoke ci
+.PHONY: build test race bench bench-engine bench-smoke vet fmt staticcheck govulncheck check fuzz serve-smoke shard-smoke rollout-smoke ingest-smoke ci
 
 build:
 	$(GO) build ./...
@@ -48,9 +48,10 @@ test:
 # simultaneous queries), the serving layer (concurrent clients + hot-reload
 # hammering), the scatter-gather router (per-query replica-group fan-out,
 # failover, ejection + background re-admission probing, hedged HTTP
-# attempts), and the rollout driver (reloads racing live router traffic).
+# attempts), the rollout driver (reloads racing live router traffic), and
+# the mutable LSM tier (writers/flushes/compaction racing searches).
 race:
-	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/server/... ./internal/router/... ./internal/rollout/...
+	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/lsm/... ./internal/server/... ./internal/router/... ./internal/rollout/...
 
 # Short coverage-guided fuzz of the index-file decoder: corrupt blobs must
 # error, never panic or over-allocate. The checked-in seed corpus lives in
@@ -107,4 +108,12 @@ rollout-smoke:
 	$(GO) build -o bin/permctl ./cmd/permctl
 	./scripts/rollout_smoke.sh bin
 
-ci: check build test race fuzz serve-smoke shard-smoke rollout-smoke bench-smoke
+# End-to-end smoke of the mutable tier's durability: stream adds/deletes
+# into the demo mutable index under live query traffic, seal a tier, then
+# kill -9 mid-ingest and restart — every acknowledged write must survive
+# and pre-kill answers must come back byte-identical.
+ingest-smoke:
+	$(GO) build -o bin/permserve ./cmd/permserve
+	./scripts/ingest_smoke.sh bin/permserve
+
+ci: check build test race fuzz serve-smoke shard-smoke rollout-smoke ingest-smoke bench-smoke

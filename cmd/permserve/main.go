@@ -15,6 +15,14 @@
 //	curl -d '{"queries": ["ACGT", "TTTT"], "k": 3}' localhost:8080/v1/indexes/dna-vptree/search
 //	curl -XPOST localhost:8080/v1/indexes/dna-vptree/reload
 //
+// The demo set includes a mutable index ("sift-mutable"): adds and deletes
+// are WAL-durable the moment they are acknowledged, and flush seals the
+// memtable into an immutable tier (see internal/lsm):
+//
+//	curl -d '{"object": [0.1, 0.2, ...]}' localhost:8080/v1/indexes/sift-mutable/add
+//	curl -d '{"ids": [1500]}' localhost:8080/v1/indexes/sift-mutable/delete
+//	curl -XPOST localhost:8080/v1/indexes/sift-mutable/flush
+//
 // -addr supports port 0; the actually bound address is logged, which the
 // smoke test uses to serve on a free port. SIGINT/SIGTERM shut down
 // gracefully: in-flight requests finish, new connections are refused.
@@ -125,6 +133,12 @@ func main() {
 		if err := hs.Shutdown(shctx); err != nil {
 			log.Fatalf("permserve: shutdown: %v", err)
 		}
+		// Close mutable trees last: every acknowledged write is already
+		// WAL-durable, this just releases file handles and lets background
+		// compaction finish.
+		if err := reg.Close(); err != nil {
+			log.Fatalf("permserve: closing registry: %v", err)
+		}
 		log.Printf("permserve: bye")
 	case err := <-errCh:
 		log.Fatalf("permserve: %v", err)
@@ -156,6 +170,15 @@ func writeDemoSet(dir string) error {
 		return err
 	}
 	if err := writeDemoIndex(dir, "sift-seqscan", server.Manifest{Dataset: "sift", Seed: seed, N: nDense},
+		func() (index.Index[[]float32], error) {
+			return seqscan.New[[]float32](space.L2{}, sift), nil
+		}); err != nil {
+		return err
+	}
+	// The mutable demo: an exact base index plus a WAL-backed LSM tree, so
+	// add/delete/flush (and the ingest smoke test's kill -9 recovery) can
+	// be exercised out of the box.
+	if err := writeDemoIndex(dir, "sift-mutable", server.Manifest{Dataset: "sift", Seed: seed, N: nDense, Mutable: true},
 		func() (index.Index[[]float32], error) {
 			return seqscan.New[[]float32](space.L2{}, sift), nil
 		}); err != nil {

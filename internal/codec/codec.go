@@ -9,7 +9,7 @@
 // A persisted index is a single binary blob:
 //
 //	offset 0  magic   "PSIX" (4 bytes)
-//	          version uint16, little-endian (currently 1)
+//	          version uint16, little-endian (currently 2)
 //	          kind    length-prefixed UTF-8 string (the index.Name tag,
 //	                  e.g. "napp" or "sw-graph")
 //	          space   length-prefixed UTF-8 string (space.Space.Name of the
@@ -48,7 +48,9 @@ import (
 const Magic = "PSIX"
 
 // Version is the current format version, bumped on incompatible changes.
-const Version = 1
+// Version 2 added a tombstone section to the "seqscan" payload (so a scanner
+// with dynamic deletions round-trips) and the "lsm-segment" kind.
+const Version = 2
 
 // Kind tags, one per persistable index family. The tag doubles as the
 // index's report name (index.Index.Name), so a file is self-describing.
@@ -67,6 +69,13 @@ const (
 	KindNNDescent  = "nndescent-graph"
 	KindSeqScan    = "seqscan"
 )
+
+// KindLSMSegment tags a sealed LSM tier segment (internal/lsm): the raw
+// objects, global ids and tombstones of one sealed memtable generation. It is
+// not an index kind — segments carry the objects an index file cannot — so it
+// is absent from Kinds() and not loadable through the internal/persist
+// registry; internal/lsm decodes it directly.
+const KindLSMSegment = "lsm-segment"
 
 // Kinds lists every kind tag the registry (internal/persist) can load, in a
 // fixed report order.

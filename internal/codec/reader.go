@@ -204,6 +204,19 @@ func (cr *Reader) tag() string {
 	return string(cr.take(int(n)))
 }
 
+// Bytes reads a length-prefixed raw byte section written by Writer.Bytes.
+// The returned slice is a copy, safe to retain after the blob is released.
+// The length is validated against the remaining payload before allocating.
+func (cr *Reader) Bytes() []byte {
+	n := cr.length(1)
+	if cr.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, cr.take(n))
+	return out
+}
+
 // U32s reads a length-prefixed []uint32 section.
 func (cr *Reader) U32s() []uint32 {
 	n := cr.length(4)

@@ -107,6 +107,14 @@ func (cw *Writer) String(s string) {
 	cw.raw([]byte(s))
 }
 
+// Bytes writes a length-prefixed raw byte section. It exists for payloads
+// that carry opaque client data (the object payloads of an LSM segment, which
+// the codec cannot interpret but must round-trip byte-exactly).
+func (cw *Writer) Bytes(p []byte) {
+	cw.U64(uint64(len(p)))
+	cw.raw(p)
+}
+
 // U32s writes a length-prefixed []uint32 section.
 func (cw *Writer) U32s(vs []uint32) {
 	cw.U64(uint64(len(vs)))

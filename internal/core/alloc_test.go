@@ -96,6 +96,49 @@ func TestSearchAppendZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestSearcherReMintKeepsZeroAllocs asserts the stale-searcher fix does not
+// tax the unmutated hot path: a warm searcher stays at zero allocations, a
+// mutation makes exactly the next use re-warm (allowed to allocate), and the
+// steady state returns to zero allocations afterwards.
+func TestSearcherReMintKeepsZeroAllocs(t *testing.T) {
+	const k = 10
+	const n, nq, seed = 600, 8, 7
+	all := dataset.SIFT(seed, n+nq)
+	db, queries := all[:n], all[n:]
+	na, err := core.NewNAPP(sp32(), db, core.NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, NumPivotSearch: 16, MinShared: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := na.NewSearcher()
+	dst := make([]topk.Neighbor, 0, k)
+	warm := func() {
+		for _, q := range queries {
+			dst = s.SearchAppend(dst[:0], q, k)
+		}
+	}
+	measure := func(label string) {
+		qi := 0
+		if avg := testing.AllocsPerRun(50, func() {
+			dst = s.SearchAppend(dst[:0], queries[qi%len(queries)], k)
+			qi++
+		}); avg != 0 {
+			t.Errorf("%s: warm SearchAppend allocates %v times per run, want 0", label, avg)
+		}
+	}
+	warm()
+	measure("before mutation")
+	na.Add(append([]float32(nil), db[0]...))
+	warm() // first post-mutation use re-mints; re-warm the fresh scratch
+	measure("after Add + re-warm")
+	if err := na.Delete(uint32(len(db))); err != nil {
+		t.Fatal(err)
+	}
+	warm()
+	measure("after Delete + re-warm")
+}
+
 // TestSearchSingleAlloc asserts the plain Search entry point costs exactly
 // the documented constant on a warm index: one allocation, the returned
 // result slice (scratch is pooled per query inside the index).

@@ -100,18 +100,48 @@ func refineTopInto[T any](sp space.Space[T], data []T, query T, cands []topk.Nei
 // caller (a batch worker, a serving loop) buffer reuse across queries
 // without any pool traffic. The index's own Search/SearchAppend wrap the
 // same fn around a pooled state instead.
+//
+// A warm scratch state is built under one index generation: its arenas are
+// sized to the data set and its epoch stamps assume the id space is stable.
+// Dynamic indexes (napp_dynamic.go) invalidate that assumption, so a
+// searcher minted by a mutable index carries the index's mutation sequence
+// number and re-mints its scratch (discarding every warmed buffer) the
+// first time it is used after a mutation. That makes a stale searcher
+// self-healing instead of an out-of-range or silently-missing-ids hazard;
+// the cost is one round of re-warming allocations per mutation, and zero
+// extra allocations while the index is unmutated.
 type searcher[T, S any] struct {
 	scratch S
 	fn      func(s *S, dst []topk.Neighbor, query T, k int) []topk.Neighbor
+	// mutSeq, when non-nil, reads the owning index's mutation sequence
+	// number; minted is the value the current scratch was built under.
+	mutSeq func() uint64
+	minted uint64
+}
+
+// refresh re-mints the scratch state if the owning index has mutated since
+// the scratch was built. Mutation and search may not run concurrently (the
+// dynamic-maintenance contract), so reading the sequence here is unsynced.
+func (w *searcher[T, S]) refresh() {
+	if w.mutSeq == nil {
+		return
+	}
+	if seq := w.mutSeq(); seq != w.minted {
+		var zero S
+		w.scratch = zero
+		w.minted = seq
+	}
 }
 
 // Search implements index.Searcher.
 func (w *searcher[T, S]) Search(query T, k int) []topk.Neighbor {
+	w.refresh()
 	return w.fn(&w.scratch, nil, query, k)
 }
 
 // SearchAppend implements index.Searcher.
 func (w *searcher[T, S]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	w.refresh()
 	return w.fn(&w.scratch, dst, query, k)
 }
 

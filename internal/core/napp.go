@@ -83,6 +83,11 @@ type NAPP[T any] struct {
 	// deleted holds tombstoned ids (see napp_dynamic.go); nil until the
 	// first Delete.
 	deleted map[uint32]struct{}
+	// mutSeq counts mutations (Add/Delete/Compact). Searchers minted
+	// before a mutation compare it against the value they were built under
+	// and re-mint their scratch state, so a warm searcher can never search
+	// with arenas sized or stamped for a previous index generation.
+	mutSeq uint64
 	// scratch pools per-query search state. Where the paper resets
 	// ScanCount counters with a per-query O(N) memset, the pooled
 	// epoch-stamped arena makes the reset O(1); the remaining buffers are
@@ -179,10 +184,23 @@ func (na *NAPP[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neig
 	return na.search(s, dst, query, k)
 }
 
-// NewSearcher implements index.SearcherProvider.
+// NewSearcher implements index.SearcherProvider. NAPP is mutable
+// (napp_dynamic.go), so its searchers track the mutation sequence and
+// re-mint their scratch after an Add/Delete/Compact rather than searching
+// with state built for the previous index generation.
 func (na *NAPP[T]) NewSearcher() index.Searcher[T] {
-	return &searcher[T, nappScratch]{fn: na.search}
+	return &searcher[T, nappScratch]{
+		fn:     na.search,
+		mutSeq: func() uint64 { return na.mutSeq },
+		minted: na.mutSeq,
+	}
 }
+
+// MutationSeq returns the number of mutations (Add/Delete/Compact) applied
+// to the index so far. A searcher is stale when the index's sequence has
+// advanced past the one the searcher was minted under; stale searchers heal
+// themselves on next use.
+func (na *NAPP[T]) MutationSeq() uint64 { return na.mutSeq }
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.

@@ -12,6 +12,11 @@ import "fmt"
 // Delete tombstones an id; Search skips tombstoned candidates, and Compact
 // rebuilds posting lists to reclaim space once enough deletions accumulate.
 //
+// Every mutation advances the index's mutation sequence number, which warm
+// index.Searchers check on each use: a searcher minted before a mutation
+// re-mints its scratch state instead of searching with arenas built for the
+// previous index generation (see searcher.refresh in core.go).
+//
 // These methods must not be called concurrently with Search or each other.
 
 // Add inserts a new data point and returns its id. The pivot set is fixed
@@ -24,6 +29,7 @@ func (na *NAPP[T]) Add(x T) uint32 {
 	for _, p := range order[:na.opts.NumPivotIndex] {
 		na.postings[p] = append(na.postings[p], id)
 	}
+	na.mutSeq++
 	return id
 }
 
@@ -37,6 +43,7 @@ func (na *NAPP[T]) Delete(id uint32) error {
 		na.deleted = make(map[uint32]struct{})
 	}
 	na.deleted[id] = struct{}{}
+	na.mutSeq++
 	return nil
 }
 
@@ -55,6 +62,7 @@ func (na *NAPP[T]) Compact() {
 	if len(na.deleted) == 0 {
 		return
 	}
+	na.mutSeq++
 	for p, list := range na.postings {
 		kept := list[:0]
 		for _, id := range list {

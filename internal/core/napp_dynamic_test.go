@@ -144,6 +144,57 @@ func postingCells[T any](na *NAPP[T]) int {
 	return cells
 }
 
+func TestNAPPStaleSearcherHealsAfterMutation(t *testing.T) {
+	// A warm Searcher minted before Add/Delete holds scratch built for the
+	// old index generation. It must notice the mutation sequence advanced
+	// and re-mint, so searches through the stale handle still see every
+	// mutation (and can never index scratch out of range).
+	db, queries := queriesFrom(clustered(45, 820, 8), 20)
+	na, err := NewNAPP[[]float32](space.L2{}, db, NAPPOptions{
+		NumPivots: 64, NumPivotIndex: 16, MinShared: 1, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := na.NewSearcher()
+	for _, q := range queries {
+		s.Search(q, 5) // warm the scratch under the original generation
+	}
+	seq0 := na.MutationSeq()
+
+	far := []float32{2e4, 2e4, 2e4, 2e4, 2e4, 2e4, 2e4, 2e4}
+	id := na.Add(far)
+	if na.MutationSeq() == seq0 {
+		t.Fatal("Add did not advance the mutation sequence")
+	}
+	res := s.Search(far, 3)
+	if len(res) == 0 || res[0].ID != id || res[0].Dist != 0 {
+		t.Fatalf("stale searcher missed the added point: %+v", res)
+	}
+
+	if err := na.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range s.Search(far, 5) {
+		if nb.ID == id {
+			t.Fatal("stale searcher returned a deleted id")
+		}
+	}
+
+	// The healed searcher keeps matching the index's own answers.
+	for _, q := range queries {
+		a, b := s.Search(q, 10), na.Search(q, 10)
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("searcher diverges from index at %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
 func TestNAPPAddThenDeleteRoundTrip(t *testing.T) {
 	db, _ := queriesFrom(clustered(44, 320, 8), 20)
 	na, err := NewNAPP[[]float32](space.L2{}, db, NAPPOptions{

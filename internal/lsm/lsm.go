@@ -1,0 +1,924 @@
+// Package lsm makes a served index mutable: a small always-mutable memtable
+// index absorbs writes in front of a stack of immutable sealed tiers, in the
+// LSM style (a small in-memory buffer sealed into geometrically-accumulating
+// read-only tiers, merged down by background compaction).
+//
+// §3.5 of the paper argues permutation inverted files are database-friendly
+// because "deletion and addition of records can be easily implemented"; this
+// package is that claim made operational for the serving stack. Every write
+// is appended to a write-ahead log and fsynced before it is acknowledged, so
+// ingest survives kill -9; when the memtable overflows it is sealed into an
+// immutable tier — a codec segment holding the raw objects plus an ordinary
+// .psix index file — and queries scatter-gather across base + tiers +
+// memtable, merging with the same canonical (dist, id) rule that makes
+// sharded answers byte-identical to unsharded ones (internal/router). With
+// exact per-component search, a tiered tree answers byte-identically to a
+// single flat index over the same live set.
+//
+// # Id space and masking
+//
+// The base corpus owns ids [0, BaseN); added objects are assigned BaseN,
+// BaseN+1, ... monotonically, and ids are never reused (the next id to
+// assign is persisted in the manifest, so even a fully-deleted-and-compacted
+// tree never re-issues an id). Because ids only grow, a tombstone recorded
+// in a tier can only target the base corpus or an older tier — "newer tiers
+// mask older ones" reduces to membership in the union of all tombstone
+// sets, which Search applies after merging (components are queried with k
+// inflated by the tombstone count so masking can never starve the result).
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/persist"
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// Dynamic is the mutable-index contract the memtable builds on: incremental
+// Add returning consecutive local ids (0, 1, 2, ...), tombstoning Delete,
+// and searches that skip tombstoned points. *seqscan.Scanner (the default
+// memtable, exact and buildable from empty for any space) and *core.NAPP
+// (napp_dynamic.go, for memtables seeded with data) both satisfy it.
+type Dynamic[T any] interface {
+	index.Index[T]
+	Add(x T) uint32
+	Delete(id uint32) error
+	Deleted(id uint32) bool
+	Live() int
+	Compact()
+}
+
+var (
+	_ Dynamic[[]float32] = (*seqscan.Scanner[[]float32])(nil)
+	_ Dynamic[[]float32] = (*core.NAPP[[]float32])(nil)
+)
+
+// ErrInvalid marks write failures caused by the request itself — an
+// undecodable payload, an unknown or already-deleted id — as opposed to
+// storage failures. A serving layer answers these 4xx, not 5xx.
+var ErrInvalid = errors.New("invalid write")
+
+// Options configures Open.
+type Options[T any] struct {
+	// Dir is the tree's private directory (WAL segments, sealed tiers,
+	// manifest). Created if absent.
+	Dir string
+	// Space is the distance space shared with the base index.
+	Space space.Space[T]
+	// BaseN is the size of the immutable base corpus; added objects are
+	// assigned ids starting at BaseN. A tree re-opened over a different
+	// BaseN is rejected.
+	BaseN int
+	// Decode turns the raw wire payload of an added object back into the
+	// object. Raw payloads — not decoded objects — are what the WAL and
+	// tier segments store, so the same bytes the client sent are re-decoded
+	// on every recovery, keeping replay exactly as deterministic as the
+	// original ingest.
+	Decode func(raw []byte) (T, error)
+	// MemtableCap seals the memtable into a tier when its live size
+	// reaches this many objects. Default 1024.
+	MemtableCap int
+	// MaxTiers triggers background compaction when the sealed-tier count
+	// exceeds it. Default 4.
+	MaxTiers int
+	// Build constructs the immutable index of a sealed tier over its live
+	// objects. Default: exact sequential scan (correct for every space;
+	// tiers are small next to the base corpus).
+	Build func(sp space.Space[T], data []T) (index.Index[T], error)
+	// NewMemtable constructs the mutable memtable index. Default: an empty
+	// exact sequential scanner.
+	NewMemtable func(sp space.Space[T]) (Dynamic[T], error)
+	// NoFsync disables the fsync-per-acknowledgement durability barrier.
+	// Tests use it for speed; a production tree must keep it false or a
+	// crash can lose acknowledged writes.
+	NoFsync bool
+}
+
+func (o *Options[T]) defaults() error {
+	if o.Dir == "" {
+		return fmt.Errorf("lsm: Options.Dir is required")
+	}
+	if o.Space == nil {
+		return fmt.Errorf("lsm: Options.Space is required")
+	}
+	if o.Decode == nil {
+		return fmt.Errorf("lsm: Options.Decode is required")
+	}
+	if o.BaseN < 0 {
+		return fmt.Errorf("lsm: negative BaseN %d", o.BaseN)
+	}
+	if o.MemtableCap <= 0 {
+		o.MemtableCap = 1024
+	}
+	if o.MaxTiers <= 0 {
+		o.MaxTiers = 4
+	}
+	if o.Build == nil {
+		o.Build = func(sp space.Space[T], data []T) (index.Index[T], error) {
+			return seqscan.New(sp, data), nil
+		}
+	}
+	if o.NewMemtable == nil {
+		o.NewMemtable = func(sp space.Space[T]) (Dynamic[T], error) {
+			return seqscan.New[T](sp, nil), nil
+		}
+	}
+	return nil
+}
+
+// memtable pairs the mutable index with the global ids and raw payloads of
+// its entries. Local id i (the Dynamic index's id) is global id ids[i].
+type memtable[T any] struct {
+	dyn   Dynamic[T]
+	ids   []uint32 // ascending global ids, parallel to the dyn's local ids
+	blobs [][]byte
+	objs  []T
+}
+
+func (m *memtable[T]) add(gid uint32, obj T, blob []byte) error {
+	local := m.dyn.Add(obj)
+	if int(local) != len(m.ids) {
+		return fmt.Errorf("lsm: memtable index assigned local id %d, want %d (Dynamic ids must be consecutive)", local, len(m.ids))
+	}
+	m.ids = append(m.ids, gid)
+	m.blobs = append(m.blobs, blob)
+	m.objs = append(m.objs, obj)
+	return nil
+}
+
+// find returns the local id of a global id, if present.
+func (m *memtable[T]) find(gid uint32) (uint32, bool) {
+	i, ok := slices.BinarySearch(m.ids, gid)
+	return uint32(i), ok
+}
+
+// Tree is a mutable tiered index: base corpus (owned by the caller), sealed
+// immutable tiers, and a mutable memtable, all sharing one global id space.
+// All methods are safe for concurrent use; writes take the write lock, so
+// they serialize against searches (the memtable guard).
+type Tree[T any] struct {
+	opts Options[T]
+
+	mu       sync.RWMutex
+	mem      *memtable[T]
+	tiers    []*tier[T] // ascending seal order (ascending seq)
+	deleted  map[uint32]struct{}
+	segTombs []uint32 // non-memtable ids deleted during the current WAL segment
+	nextID   uint32
+	wal      *wal
+	walSeq   uint64
+	tierSeq  uint64 // next tier sequence number to assign
+	closed   bool
+
+	compacting bool
+	compactErr error
+	wg         sync.WaitGroup
+}
+
+// Open loads (or initializes) a tree in opts.Dir: manifest, sealed tiers,
+// then WAL replay into a fresh memtable. Files the manifest does not name
+// are crash debris and are removed.
+func Open[T any](opts Options[T]) (*Tree[T], error) {
+	if err := opts.defaults(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	man, ok, err := readManifest(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		man = &manifest{
+			Version: manifestVersion,
+			Space:   opts.Space.Name(),
+			BaseN:   opts.BaseN,
+			NextID:  uint32(opts.BaseN),
+			WalSeq:  1, NextTierSeq: 1,
+		}
+		if err := writeManifest(opts.Dir, man); err != nil {
+			return nil, err
+		}
+	}
+	if man.Space != opts.Space.Name() {
+		return nil, fmt.Errorf("lsm: %s: tree was created under space %q, Open supplies %q", opts.Dir, man.Space, opts.Space.Name())
+	}
+	if man.BaseN != opts.BaseN {
+		return nil, fmt.Errorf("lsm: %s: tree was created over a base corpus of %d points, Open supplies %d", opts.Dir, man.BaseN, opts.BaseN)
+	}
+
+	t := &Tree[T]{
+		opts:    opts,
+		deleted: make(map[uint32]struct{}),
+		nextID:  man.NextID,
+		walSeq:  man.WalSeq,
+		tierSeq: man.NextTierSeq,
+	}
+	for _, mt := range man.Tiers {
+		tr, err := readSegment(opts.Dir, opts.Space.Name(), mt.Seq, opts.Decode)
+		if err != nil {
+			return nil, err
+		}
+		if len(tr.ids) != mt.N || len(tr.tombs) != mt.Tombstones {
+			return nil, fmt.Errorf("lsm: tier %d holds %d objects / %d tombstones, manifest says %d / %d",
+				mt.Seq, len(tr.ids), len(tr.tombs), mt.N, mt.Tombstones)
+		}
+		if len(tr.ids) > 0 {
+			// The .psix is derived state: prefer loading it, rebuild from
+			// the segment when missing or unreadable.
+			idx, err := persist.LoadFile(idxPath(opts.Dir, mt.Seq), opts.Space, tr.objs)
+			if err != nil {
+				idx, err = opts.Build(opts.Space, tr.objs)
+				if err != nil {
+					return nil, fmt.Errorf("lsm: rebuilding tier %d index: %w", mt.Seq, err)
+				}
+				// Best effort: the rebuilt index serves fine from memory
+				// even if re-persisting it fails.
+				_ = persist.SaveFile(idxPath(opts.Dir, mt.Seq), idx)
+			}
+			if mt.Kind != "" && idx.Name() != mt.Kind {
+				return nil, fmt.Errorf("lsm: tier %d index is %q, manifest says %q", mt.Seq, idx.Name(), mt.Kind)
+			}
+			tr.idx = idx
+		}
+		t.tiers = append(t.tiers, tr)
+		for _, id := range tr.tombs {
+			t.deleted[id] = struct{}{}
+		}
+	}
+	removeStale(opts.Dir, man)
+
+	dyn, err := opts.NewMemtable(opts.Space)
+	if err != nil {
+		return nil, err
+	}
+	t.mem = &memtable[T]{dyn: dyn}
+	w, recs, err := openWAL(walPath(opts.Dir, man.WalSeq), opts.NoFsync)
+	if err != nil {
+		return nil, err
+	}
+	t.wal = w
+	for _, rec := range recs {
+		if err := t.replay(rec); err != nil {
+			w.close()
+			return nil, fmt.Errorf("lsm: replaying %s: %w", w.path, err)
+		}
+	}
+	return t, nil
+}
+
+// replay applies one recovered WAL record to the in-memory state, exactly
+// as the original applyAdd/applyDelete did.
+func (t *Tree[T]) replay(rec walRecord) error {
+	switch rec.op {
+	case walOpAdd:
+		if rec.id < t.nextID || rec.id < uint32(t.opts.BaseN) {
+			return fmt.Errorf("add record reuses id %d (next id %d)", rec.id, t.nextID)
+		}
+		obj, err := t.opts.Decode(rec.payload)
+		if err != nil {
+			return fmt.Errorf("decoding add record id %d: %w", rec.id, err)
+		}
+		if err := t.mem.add(rec.id, obj, rec.payload); err != nil {
+			return err
+		}
+		t.nextID = rec.id + 1
+	case walOpDelete:
+		if err := t.applyDelete(rec.id); err != nil {
+			return fmt.Errorf("delete record id %d: %w", rec.id, err)
+		}
+	default:
+		return fmt.Errorf("unknown record op %d", rec.op)
+	}
+	return nil
+}
+
+// BaseN returns the size of the immutable base corpus.
+func (t *Tree[T]) BaseN() int { return t.opts.BaseN }
+
+// Space returns the distance space the tree was opened under.
+func (t *Tree[T]) Space() space.Space[T] { return t.opts.Space }
+
+// isLiveLocked reports whether id currently refers to a live object.
+func (t *Tree[T]) isLiveLocked(id uint32) bool {
+	if local, ok := t.mem.find(id); ok {
+		return !t.mem.dyn.Deleted(local)
+	}
+	if _, dead := t.deleted[id]; dead {
+		return false
+	}
+	if int(id) < t.opts.BaseN {
+		return true
+	}
+	for _, tr := range t.tiers {
+		if _, ok := slices.BinarySearch(tr.ids, id); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Add ingests one object from its raw wire payload and returns its global
+// id. The write is WAL-appended and fsynced before it returns — an
+// acknowledged add survives kill -9.
+func (t *Tree[T]) Add(raw []byte) (uint32, error) {
+	ids, err := t.AddBatch([][]byte{raw})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// AddBatch ingests a batch of objects with a single durability barrier. All
+// payloads are decoded before anything is applied, so a malformed payload
+// rejects the whole batch.
+func (t *Tree[T]) AddBatch(raws [][]byte) ([]uint32, error) {
+	if len(raws) == 0 {
+		return nil, nil
+	}
+	objs := make([]T, len(raws))
+	for i, raw := range raws {
+		obj, err := t.opts.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: object %d: %v: %w", i, err, ErrInvalid)
+		}
+		objs[i] = obj
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.writableLocked(); err != nil {
+		return nil, err
+	}
+	ids := make([]uint32, len(raws))
+	for i, raw := range raws {
+		id := t.nextID
+		if err := t.wal.append(walOpAdd, id, raw); err != nil {
+			return nil, err
+		}
+		if err := t.mem.add(id, objs[i], slices.Clone(raw)); err != nil {
+			return nil, err
+		}
+		t.nextID = id + 1
+		ids[i] = id
+	}
+	if err := t.wal.sync(); err != nil {
+		return nil, err
+	}
+	if t.mem.dyn.Live() >= t.opts.MemtableCap {
+		if _, err := t.sealLocked(); err != nil {
+			// The writes themselves are durable and acknowledged; a failed
+			// seal only means the memtable stays mutable. Surface it.
+			return ids, fmt.Errorf("lsm: sealing full memtable: %w", err)
+		}
+	}
+	return ids, nil
+}
+
+// Delete tombstones one live object.
+func (t *Tree[T]) Delete(id uint32) error {
+	return t.DeleteBatch([]uint32{id})
+}
+
+// DeleteBatch tombstones a batch of live objects with a single durability
+// barrier. Every id must name a distinct live object, or the whole batch is
+// rejected before anything is applied.
+func (t *Tree[T]) DeleteBatch(ids []uint32) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.writableLocked(); err != nil {
+		return err
+	}
+	seen := make(map[uint32]struct{}, len(ids))
+	for _, id := range ids {
+		if _, dup := seen[id]; dup {
+			return fmt.Errorf("lsm: duplicate id %d in delete batch: %w", id, ErrInvalid)
+		}
+		seen[id] = struct{}{}
+		if !t.isLiveLocked(id) {
+			return fmt.Errorf("lsm: id %d is unknown or already deleted: %w", id, ErrInvalid)
+		}
+	}
+	for _, id := range ids {
+		if err := t.wal.append(walOpDelete, id, nil); err != nil {
+			return err
+		}
+		if err := t.applyDelete(id); err != nil {
+			return err
+		}
+	}
+	return t.wal.sync()
+}
+
+// applyDelete routes a validated delete: memtable-resident ids are deleted
+// inside the memtable index (their objects will simply be excluded from the
+// next seal — no tombstone ever needs persisting), everything else joins
+// the global mask and the pending tombstones of the current WAL segment.
+func (t *Tree[T]) applyDelete(id uint32) error {
+	if local, ok := t.mem.find(id); ok {
+		if t.mem.dyn.Deleted(local) {
+			return fmt.Errorf("lsm: id %d already deleted", id)
+		}
+		return t.mem.dyn.Delete(local)
+	}
+	if _, dead := t.deleted[id]; dead {
+		return fmt.Errorf("lsm: id %d already deleted", id)
+	}
+	if int(id) >= t.opts.BaseN && !t.inTiersLocked(id) {
+		return fmt.Errorf("lsm: id %d is unknown", id)
+	}
+	t.deleted[id] = struct{}{}
+	t.segTombs = append(t.segTombs, id)
+	return nil
+}
+
+func (t *Tree[T]) inTiersLocked(id uint32) bool {
+	for _, tr := range t.tiers {
+		if _, ok := slices.BinarySearch(tr.ids, id); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// writableLocked rejects writes on a closed tree.
+func (t *Tree[T]) writableLocked() error {
+	if t.closed {
+		return fmt.Errorf("lsm: tree is closed")
+	}
+	if t.wal == nil {
+		return fmt.Errorf("lsm: tree lost its WAL to an earlier seal failure; re-open to recover")
+	}
+	return nil
+}
+
+// Flush seals the memtable into a tier regardless of fill level. It returns
+// the sealed tier's summary, or nil if there was nothing to seal.
+func (t *Tree[T]) Flush() (*TierStatus, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.writableLocked(); err != nil {
+		return nil, err
+	}
+	return t.sealLocked()
+}
+
+// Unsealed returns the number of WAL records the current segment holds —
+// the writes that only the WAL makes durable until the next seal. The
+// serving layer gates hot reload on this being zero.
+func (t *Tree[T]) Unsealed() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.wal == nil {
+		return 0
+	}
+	return t.wal.records
+}
+
+// sealLocked rotates the current WAL segment into an immutable tier:
+// segment file, index file, manifest commit, fresh WAL, fresh memtable —
+// in that order, so a crash at any boundary recovers to either the
+// pre-seal or post-seal state with no acknowledged write lost.
+func (t *Tree[T]) sealLocked() (*TierStatus, error) {
+	if t.wal.records == 0 {
+		return nil, nil
+	}
+	tr := &tier[T]{seq: t.tierSeq}
+	for local, gid := range t.mem.ids {
+		if t.mem.dyn.Deleted(uint32(local)) {
+			continue // added and deleted within this segment: never persisted
+		}
+		tr.ids = append(tr.ids, gid)
+		tr.blobs = append(tr.blobs, t.mem.blobs[local])
+		tr.objs = append(tr.objs, t.mem.objs[local])
+	}
+	tr.tombs = slices.Clone(t.segTombs)
+	slices.Sort(tr.tombs)
+
+	newWalSeq := t.walSeq + 1
+	if len(tr.ids) == 0 && len(tr.tombs) == 0 {
+		// Everything in this segment cancelled out. No tier to write; just
+		// rotate the WAL so replay stays bounded. The manifest still
+		// commits NextID: even fully-cancelled ids are never reused.
+		if err := t.commitLocked(t.tiers, newWalSeq); err != nil {
+			return nil, err
+		}
+		return nil, t.rotateWalLocked(newWalSeq)
+	}
+
+	if len(tr.ids) > 0 {
+		idx, err := t.opts.Build(t.opts.Space, tr.objs)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: building tier %d index: %w", tr.seq, err)
+		}
+		tr.idx = idx
+		if err := persist.SaveFile(idxPath(t.opts.Dir, tr.seq), idx); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeSegment(t.opts.Dir, t.opts.Space.Name(), tr); err != nil {
+		return nil, err
+	}
+	t.tierSeq++
+	if err := t.commitLocked(append(slices.Clone(t.tiers), tr), newWalSeq); err != nil {
+		t.tierSeq-- // manifest unchanged; the orphaned files are debris
+		return nil, err
+	}
+	t.tiers = append(t.tiers, tr)
+	if err := t.rotateWalLocked(newWalSeq); err != nil {
+		return nil, err
+	}
+	t.maybeCompactLocked()
+	st := tierStatusOf(tr)
+	return &st, nil
+}
+
+// commitLocked writes the manifest reflecting the given tier list and WAL
+// sequence plus the tree's current counters — the atomic commit point of
+// seal, rotation and compaction.
+func (t *Tree[T]) commitLocked(tiers []*tier[T], walSeq uint64) error {
+	man := &manifest{
+		Version:     manifestVersion,
+		Space:       t.opts.Space.Name(),
+		BaseN:       t.opts.BaseN,
+		NextID:      t.nextID,
+		WalSeq:      walSeq,
+		NextTierSeq: t.tierSeq,
+	}
+	for _, tr := range tiers {
+		mt := manifestTier{Seq: tr.seq, N: len(tr.ids), Tombstones: len(tr.tombs)}
+		if tr.idx != nil {
+			mt.Kind = tr.idx.Name()
+		}
+		man.Tiers = append(man.Tiers, mt)
+	}
+	return writeManifest(t.opts.Dir, man)
+}
+
+// rotateWalLocked switches to the (already-committed) new WAL segment and
+// resets the memtable state. The old segment's contents are fully covered
+// by the just-sealed tier, so it is closed and removed.
+func (t *Tree[T]) rotateWalLocked(newWalSeq uint64) error {
+	old := t.wal
+	w, err := createWAL(walPath(t.opts.Dir, newWalSeq), t.opts.NoFsync)
+	if err != nil {
+		// The manifest already points at the new segment; without it the
+		// tree must refuse writes (reads are unaffected). Re-opening
+		// recovers: openWAL creates the missing file.
+		t.wal = nil
+		old.close()
+		return fmt.Errorf("lsm: creating WAL segment %d: %w", newWalSeq, err)
+	}
+	t.wal = w
+	t.walSeq = newWalSeq
+	old.close()
+	os.Remove(old.path)
+	dyn, err := t.opts.NewMemtable(t.opts.Space)
+	if err != nil {
+		return err
+	}
+	t.mem = &memtable[T]{dyn: dyn}
+	t.segTombs = nil
+	return nil
+}
+
+// maybeCompactLocked starts a background compaction when the tier stack is
+// deep enough and none is already running. The compaction job snapshots the
+// current tiers and tombstone set; seals may append new tiers concurrently
+// (only compaction ever removes tiers, and it is single-flight, so the
+// snapshot stays a stable prefix of the live list).
+func (t *Tree[T]) maybeCompactLocked() {
+	if t.compacting || t.closed || len(t.tiers) <= t.opts.MaxTiers {
+		return
+	}
+	inputs := slices.Clone(t.tiers)
+	dead := make(map[uint32]struct{}, len(t.deleted))
+	for id := range t.deleted {
+		dead[id] = struct{}{}
+	}
+	seq := t.tierSeq
+	t.tierSeq++
+	t.compacting = true
+	t.wg.Add(1)
+	go t.compact(inputs, dead, seq)
+}
+
+// compact merges the input tiers into one: objects deleted by the
+// snapshotted tombstone set are dropped, surviving objects keep their ids,
+// and only tombstones still targeting the base corpus are carried forward
+// (a tombstone for an added object either just dropped its target or
+// targets nothing — either way it is spent). Runs off the lock; the merge
+// work fans out over an engine.Pool, and the commit (manifest + in-memory
+// swap) retakes the lock.
+func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint64) {
+	defer t.wg.Done()
+	fail := func(err error) {
+		t.mu.Lock()
+		t.compactErr = err
+		t.compacting = false
+		t.mu.Unlock()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fail(fmt.Errorf("lsm: compaction panicked: %v", r))
+		}
+	}()
+
+	type kept struct {
+		ids   []uint32
+		blobs [][]byte
+		objs  []T
+		tombs []uint32
+	}
+	parts := make([]kept, len(inputs))
+	engine.Pool{}.For(len(inputs), func(i int) {
+		in := inputs[i]
+		var k kept
+		for j, id := range in.ids {
+			if _, d := dead[id]; d {
+				continue
+			}
+			k.ids = append(k.ids, id)
+			k.blobs = append(k.blobs, in.blobs[j])
+			k.objs = append(k.objs, in.objs[j])
+		}
+		for _, id := range in.tombs {
+			if int(id) < t.opts.BaseN {
+				k.tombs = append(k.tombs, id)
+			}
+		}
+		parts[i] = k
+	})
+
+	tr := &tier[T]{seq: seq}
+	for _, k := range parts {
+		tr.ids = append(tr.ids, k.ids...)
+		tr.blobs = append(tr.blobs, k.blobs...)
+		tr.objs = append(tr.objs, k.objs...)
+		tr.tombs = append(tr.tombs, k.tombs...)
+	}
+	slices.Sort(tr.tombs)
+	tr.tombs = slices.Compact(tr.tombs)
+
+	merged := tr
+	if len(tr.ids) == 0 && len(tr.tombs) == 0 {
+		merged = nil // everything died; the inputs are replaced by nothing
+	} else {
+		if len(tr.ids) > 0 {
+			idx, err := t.opts.Build(t.opts.Space, tr.objs)
+			if err != nil {
+				fail(fmt.Errorf("lsm: building compacted index: %w", err))
+				return
+			}
+			tr.idx = idx
+			if err := persist.SaveFile(idxPath(t.opts.Dir, seq), idx); err != nil {
+				fail(err)
+				return
+			}
+		}
+		if err := writeSegment(t.opts.Dir, t.opts.Space.Name(), tr); err != nil {
+			fail(err)
+			return
+		}
+	}
+
+	t.mu.Lock()
+	var newTiers []*tier[T]
+	if merged != nil {
+		newTiers = append(newTiers, merged)
+	}
+	newTiers = append(newTiers, t.tiers[len(inputs):]...)
+	if err := t.commitLocked(newTiers, t.walSeq); err != nil {
+		t.compactErr = err
+		t.compacting = false
+		t.mu.Unlock()
+		return
+	}
+	t.tiers = newTiers
+	// Rebuild the mask: tombstones of the surviving tiers plus the current
+	// segment's pending deletes. Entries whose targets were just dropped
+	// vanish here, so the k-inflation the mask drives stays proportional
+	// to real masking work.
+	t.deleted = make(map[uint32]struct{})
+	for _, tr := range t.tiers {
+		for _, id := range tr.tombs {
+			t.deleted[id] = struct{}{}
+		}
+	}
+	for _, id := range t.segTombs {
+		t.deleted[id] = struct{}{}
+	}
+	t.compactErr = nil
+	t.mu.Unlock()
+
+	// Delete input files outside the lock, and only then clear the
+	// compacting flag: Compacting == false promises the whole cycle —
+	// including disk GC — is done, which recovery tests and operators rely
+	// on. The manifest no longer names these files, so a crash here just
+	// leaves debris for removeStale.
+	for _, in := range inputs {
+		os.Remove(segPath(t.opts.Dir, in.seq))
+		os.Remove(idxPath(t.opts.Dir, in.seq))
+	}
+	t.mu.Lock()
+	t.compacting = false
+	// Seals that landed while this cycle ran were skipped by
+	// maybeCompactLocked; re-check here so the tree converges to
+	// <= MaxTiers instead of settling wherever the race left it.
+	t.maybeCompactLocked()
+	t.mu.Unlock()
+}
+
+// Search answers a query over the live set: base corpus (searched through
+// the supplied immutable base index, nil for a base-less tree) plus sealed
+// tiers plus memtable, masked by the tombstone union and merged with the
+// canonical (dist, id) rule. Each component is queried with k inflated by
+// the mask size, so masking can never push a live answer out of reach: the
+// merged result is exactly what a flat index over the live set would
+// return when every component searches exactly.
+func (t *Tree[T]) Search(base index.Index[T], query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	kq := k + len(t.deleted)
+	var buf []topk.Neighbor
+	if base != nil {
+		buf = base.Search(query, kq)
+	}
+	for _, tr := range t.tiers {
+		if tr.idx == nil {
+			continue
+		}
+		start := len(buf)
+		buf = append(buf, tr.idx.Search(query, kq)...)
+		for i := start; i < len(buf); i++ {
+			buf[i].ID = tr.ids[buf[i].ID]
+		}
+	}
+	start := len(buf)
+	buf = append(buf, t.mem.dyn.Search(query, kq)...)
+	for i := start; i < len(buf); i++ {
+		buf[i].ID = t.mem.ids[buf[i].ID]
+	}
+	if len(t.deleted) > 0 {
+		kept := buf[:0]
+		for _, nb := range buf {
+			if _, dead := t.deleted[nb.ID]; !dead {
+				kept = append(kept, nb)
+			}
+		}
+		buf = kept
+	}
+	return topk.SelectK(buf, k)
+}
+
+// TierStatus summarizes one sealed tier for /statusz.
+type TierStatus struct {
+	Seq        uint64 `json:"seq"`
+	N          int    `json:"n"`
+	Tombstones int    `json:"tombstones"`
+	Kind       string `json:"kind,omitempty"`
+}
+
+func tierStatusOf[T any](tr *tier[T]) TierStatus {
+	st := TierStatus{Seq: tr.seq, N: len(tr.ids), Tombstones: len(tr.tombs)}
+	if tr.idx != nil {
+		st.Kind = tr.idx.Name()
+	}
+	return st
+}
+
+// Status is a point-in-time snapshot of the tree's shape.
+type Status struct {
+	BaseN        int          `json:"base_n"`
+	NextID       uint32       `json:"next_id"`
+	Live         int          `json:"live"`
+	MemtableLive int          `json:"memtable_live"`
+	MemtableCap  int          `json:"memtable_cap"`
+	Deleted      int          `json:"deleted"`
+	WalSeq       uint64       `json:"wal_seq"`
+	WalRecords   int          `json:"wal_records"`
+	WalBytes     int64        `json:"wal_bytes"`
+	Tiers        []TierStatus `json:"tiers"`
+	Compacting   bool         `json:"compacting,omitempty"`
+	CompactErr   string       `json:"compact_err,omitempty"`
+}
+
+// Status reports the tree's current shape.
+func (t *Tree[T]) Status() Status {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := Status{
+		BaseN:        t.opts.BaseN,
+		NextID:       t.nextID,
+		MemtableLive: t.mem.dyn.Live(),
+		MemtableCap:  t.opts.MemtableCap,
+		Deleted:      len(t.deleted),
+		WalSeq:       t.walSeq,
+		Compacting:   t.compacting,
+	}
+	if t.wal != nil {
+		st.WalRecords = t.wal.records
+		st.WalBytes = t.wal.size
+	}
+	if t.compactErr != nil {
+		st.CompactErr = t.compactErr.Error()
+	}
+	live := t.opts.BaseN + st.MemtableLive - len(t.deleted)
+	for _, tr := range t.tiers {
+		st.Tiers = append(st.Tiers, tierStatusOf(tr))
+		live += len(tr.ids)
+	}
+	st.Live = live
+	return st
+}
+
+// LiveIDs returns the ascending global ids of every live object (base,
+// tiers and memtable). It exists for identity testing — a flat reference
+// index is built over exactly these objects — and for offline tooling; it
+// allocates freely and is not a serving path.
+func (t *Tree[T]) LiveIDs() []uint32 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var ids []uint32
+	for id := 0; id < t.opts.BaseN; id++ {
+		if _, dead := t.deleted[uint32(id)]; !dead {
+			ids = append(ids, uint32(id))
+		}
+	}
+	for _, tr := range t.tiers {
+		for _, id := range tr.ids {
+			if _, dead := t.deleted[id]; !dead {
+				ids = append(ids, id)
+			}
+		}
+	}
+	for local, id := range t.mem.ids {
+		if !t.mem.dyn.Deleted(uint32(local)) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Object returns the live object with the given added-object id (ids below
+// BaseN live in the caller's base corpus). Testing/tooling path.
+func (t *Tree[T]) Object(id uint32) (T, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var zero T
+	if local, ok := t.mem.find(id); ok {
+		if t.mem.dyn.Deleted(local) {
+			return zero, false
+		}
+		return t.mem.objs[local], true
+	}
+	if _, dead := t.deleted[id]; dead {
+		return zero, false
+	}
+	for _, tr := range t.tiers {
+		if i, ok := slices.BinarySearch(tr.ids, id); ok {
+			return tr.objs[i], true
+		}
+	}
+	return zero, false
+}
+
+// Close waits for background compaction and closes the WAL. Unsealed writes
+// stay in the WAL segment and are replayed by the next Open; Close does not
+// seal (a crash and a clean shutdown recover identically, which keeps the
+// recovery path continuously exercised).
+func (t *Tree[T]) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return nil
+	}
+	err := t.wal.close()
+	t.wal = nil
+	return err
+}

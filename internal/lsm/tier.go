@@ -1,0 +1,298 @@
+package lsm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"repro/internal/codec"
+	"repro/internal/index"
+	"repro/internal/persist"
+)
+
+// Sealed tiers. A seal turns the memtable into two files plus a manifest
+// update, in a crash-ordered sequence:
+//
+//	<seq>.seg     codec blob (kind "lsm-segment"): the live objects' global
+//	              ids and raw wire payloads, plus the tombstones recorded
+//	              during this WAL segment's lifetime. This is the durable
+//	              source of truth for added objects — index files never
+//	              store objects, segments do.
+//	<seq>.psix    an ordinary index file built over the tier's live objects
+//	              (absent when the tier holds tombstones only). Purely
+//	              derived: a missing or corrupt one is rebuilt from the
+//	              .seg on open.
+//	tiers.json    the manifest naming the live tier sequence numbers, the
+//	              current WAL segment and the next id to assign; written
+//	              atomically (temp + fsync + rename). A file not named by
+//	              the manifest does not exist as far as recovery is
+//	              concerned — every crash point between the steps leaves
+//	              either the old or the new manifest, never a mix.
+//
+// Tombstones in a newer tier only ever target the base corpus or older
+// tiers: global ids are assigned monotonically and never reused, so by the
+// time an id is sealed into a tier, every later delete of it is recorded in
+// a younger WAL segment (hence a younger tier). Masking "newest wins" is
+// therefore just set membership in the union of tombstones.
+
+// tier is one loaded immutable tier.
+type tier[T any] struct {
+	seq   uint64
+	ids   []uint32 // ascending global ids of the live objects
+	blobs [][]byte // raw wire payloads, parallel to ids
+	objs  []T      // decoded objects, parallel to ids
+	tombs []uint32 // ascending global ids deleted during this segment
+	idx   index.Index[T]
+}
+
+// segPath / idxPath / walPath name the files of a sequence number.
+func segPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.seg", seq))
+}
+func idxPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d%s", seq, persist.Ext))
+}
+func walPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%06d.log", seq))
+}
+
+// writeSegment writes the .seg blob for a tier atomically.
+func writeSegment[T any](dir, spaceName string, tr *tier[T]) error {
+	path := segPath(dir, tr.seq)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	cw := codec.NewWriter(f, codec.KindLSMSegment, spaceName, len(tr.ids))
+	cw.U64(tr.seq)
+	cw.U32s(tr.ids)
+	cw.U32s(tr.tombs)
+	for _, b := range tr.blobs {
+		cw.Bytes(b)
+	}
+	if err := cw.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Chmod(f.Name(), 0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return cleanup(err)
+	}
+	return syncDir(dir)
+}
+
+// readSegment loads and validates a .seg blob. Objects are decoded with the
+// tree's Decode; the index file is not touched here.
+func readSegment[T any](dir, spaceName string, seq uint64, decode func([]byte) (T, error)) (*tier[T], error) {
+	path := segPath(dir, seq)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr, err := codec.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	hdr := cr.Header()
+	if hdr.Kind != codec.KindLSMSegment {
+		return nil, fmt.Errorf("%s: file holds a %q blob, want %q", path, hdr.Kind, codec.KindLSMSegment)
+	}
+	if hdr.Space != spaceName {
+		return nil, fmt.Errorf("%s: segment written under space %q, tree uses %q", path, hdr.Space, spaceName)
+	}
+	n := int(hdr.N)
+	tr := &tier[T]{seq: cr.U64()}
+	tr.ids = cr.U32s()
+	tr.tombs = cr.U32s()
+	tr.blobs = make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		tr.blobs = append(tr.blobs, cr.Bytes())
+	}
+	if err := cr.Finish(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if tr.seq != seq {
+		return nil, fmt.Errorf("%s: segment stamps seq %d, manifest says %d", path, tr.seq, seq)
+	}
+	if len(tr.ids) != n {
+		return nil, fmt.Errorf("%s: %d ids for %d objects", path, len(tr.ids), n)
+	}
+	if !slices.IsSorted(tr.ids) || !slices.IsSorted(tr.tombs) {
+		return nil, fmt.Errorf("%s: unsorted id or tombstone section", path)
+	}
+	tr.objs = make([]T, n)
+	for i, b := range tr.blobs {
+		obj, err := decode(b)
+		if err != nil {
+			return nil, fmt.Errorf("%s: decoding object id %d: %w", path, tr.ids[i], err)
+		}
+		tr.objs[i] = obj
+	}
+	return tr, nil
+}
+
+// manifest is the tiers.json sidecar: the only authority on which files
+// constitute the tree.
+type manifest struct {
+	Version     int            `json:"version"`
+	Space       string         `json:"space"`
+	BaseN       int            `json:"base_n"`
+	NextID      uint32         `json:"next_id"`
+	WalSeq      uint64         `json:"wal_seq"`
+	NextTierSeq uint64         `json:"next_tier_seq"`
+	Tiers       []manifestTier `json:"tiers"`
+}
+
+// manifestTier summarizes one sealed tier.
+type manifestTier struct {
+	Seq        uint64 `json:"seq"`
+	N          int    `json:"n"`
+	Tombstones int    `json:"tombstones"`
+	Kind       string `json:"kind,omitempty"` // index kind; empty for tombstone-only tiers
+}
+
+const manifestVersion = 1
+
+// manifestName is the manifest file name inside a tree directory.
+const manifestName = "tiers.json"
+
+// writeManifest atomically replaces the manifest: temp file, fsync, rename,
+// directory fsync. After it returns, recovery will see exactly this state.
+func writeManifest(dir string, m *manifest) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	f, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if _, err := f.Write(append(blob, '\n')); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Chmod(f.Name(), 0o644); err != nil {
+		return cleanup(err)
+	}
+	if err := os.Rename(f.Name(), path); err != nil {
+		return cleanup(err)
+	}
+	return syncDir(dir)
+}
+
+// readManifest loads tiers.json; ok is false when the file does not exist.
+func readManifest(dir string) (m *manifest, ok bool, err error) {
+	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	m = new(manifest)
+	if err := json.Unmarshal(blob, m); err != nil {
+		return nil, false, fmt.Errorf("lsm: %s/%s: %w", dir, manifestName, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, false, fmt.Errorf("lsm: %s/%s: unsupported manifest version %d", dir, manifestName, m.Version)
+	}
+	return m, true, nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems reject fsync on directories; the rename itself is
+	// still atomic there, so degrade silently.
+	_ = d.Sync()
+	return nil
+}
+
+// removeStale deletes every file in dir that the manifest does not account
+// for: segments and index files of unlisted sequence numbers, WAL segments
+// other than the current one, and orphaned temp files. Such files are debris
+// of a crash between "write files" and "commit manifest" (or after a commit
+// that replaced them) and must not survive, or a later seal reusing the
+// sequence number would find them in the way.
+func removeStale(dir string, m *manifest) {
+	listed := make(map[uint64]bool, len(m.Tiers))
+	for _, t := range m.Tiers {
+		listed[t.Seq] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || name == manifestName {
+			continue
+		}
+		var seq uint64
+		switch {
+		case matchSeq(name, ".seg", &seq), matchSeq(name, persist.Ext, &seq):
+			if !listed[seq] {
+				os.Remove(filepath.Join(dir, name))
+			}
+		case matchWal(name, &seq):
+			if seq != m.WalSeq {
+				os.Remove(filepath.Join(dir, name))
+			}
+		default:
+			// Leftover temp files from interrupted atomic writes.
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// matchSeq parses "<seq><ext>" file names.
+func matchSeq(name, ext string, seq *uint64) bool {
+	if len(name) <= len(ext) || name[len(name)-len(ext):] != ext {
+		return false
+	}
+	_, err := fmt.Sscanf(name[:len(name)-len(ext)], "%d", seq)
+	return err == nil && fmt.Sprintf("%06d%s", *seq, ext) == name
+}
+
+// matchWal parses "wal-<seq>.log" file names.
+func matchWal(name string, seq *uint64) bool {
+	var s uint64
+	if _, err := fmt.Sscanf(name, "wal-%d.log", &s); err != nil {
+		return false
+	}
+	if fmt.Sprintf("wal-%06d.log", s) != name {
+		return false
+	}
+	*seq = s
+	return true
+}

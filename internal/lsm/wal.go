@@ -1,0 +1,202 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Write-ahead log. Every mutation (add, delete) is appended to the current
+// WAL segment before it is acknowledged, so a kill -9 at any moment loses no
+// acknowledged write: Open replays the log into a fresh memtable. Sealing
+// the memtable into an immutable tier rotates the log — the sealed tier is
+// durable first, then a new empty segment replaces the old one.
+//
+// # Format
+//
+//	offset 0  magic   "PSWL" (4 bytes)
+//	          version uint16, little-endian (currently 1)
+//	records   each:
+//	            frameLen uint32   length of the frame that follows
+//	            frame             op uint8 | id uint32 | payload bytes
+//	            crc32c   uint32   Castagnoli checksum of the frame
+//
+// All integers are little-endian. An add frame's payload is the raw wire
+// bytes of the object (the tree re-decodes them on replay — the index file
+// format deliberately never stores objects, so the WAL and tier segments
+// are where added objects live). A delete frame has an empty payload.
+//
+// Replay stops at the first incomplete or checksum-failing record and
+// truncates the file there: a torn tail is exactly what a crash mid-append
+// leaves behind, and everything before it was individually checksummed at
+// write time. A record was only acknowledged after fsync, so truncation can
+// only discard writes that were never acknowledged.
+
+const (
+	walMagic   = "PSWL"
+	walVersion = 1
+
+	walOpAdd    = 1
+	walOpDelete = 2
+
+	// walHeaderLen is the byte length of the segment header.
+	walHeaderLen = 6
+	// walMaxFrame bounds a single record frame; a larger declared length is
+	// treated as corruption (torn tail), not an allocation request.
+	walMaxFrame = 64 << 20
+)
+
+var walCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one replayed mutation.
+type walRecord struct {
+	op      uint8
+	id      uint32
+	payload []byte
+}
+
+// wal is an open, append-only WAL segment.
+type wal struct {
+	f       *os.File
+	path    string
+	size    int64
+	nosync  bool
+	records int
+}
+
+// createWAL creates a fresh segment at path (truncating any stale file) and
+// durably writes its header.
+func createWAL(path string, nosync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = append(hdr, walMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, walVersion)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{f: f, path: path, size: walHeaderLen, nosync: nosync}
+	if err := w.sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openWAL opens an existing segment, replays its records and truncates any
+// torn tail so subsequent appends extend a clean log. A missing file is
+// created fresh (the crash window between manifest write and segment
+// creation); a header shorter than walHeaderLen is itself a torn tail of
+// createWAL and is rewritten.
+func openWAL(path string, nosync bool) (*wal, []walRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		w, cerr := createWAL(path, nosync)
+		return w, nil, cerr
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < walHeaderLen {
+		w, cerr := createWAL(path, nosync)
+		return w, nil, cerr
+	}
+	if string(data[:4]) != walMagic {
+		return nil, nil, fmt.Errorf("lsm: %s: bad WAL magic %q", path, data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != walVersion {
+		return nil, nil, fmt.Errorf("lsm: %s: unsupported WAL version %d (this build writes %d)", path, v, walVersion)
+	}
+
+	var recs []walRecord
+	off := int64(walHeaderLen)
+	for {
+		rest := data[off:]
+		if len(rest) < 4 {
+			break
+		}
+		frameLen := binary.LittleEndian.Uint32(rest[:4])
+		if frameLen < 5 || frameLen > walMaxFrame || int64(len(rest)) < int64(4+frameLen+4) {
+			break
+		}
+		frame := rest[4 : 4+frameLen]
+		want := binary.LittleEndian.Uint32(rest[4+frameLen : 4+frameLen+4])
+		if crc32.Checksum(frame, walCastagnoli) != want {
+			break
+		}
+		rec := walRecord{op: frame[0], id: binary.LittleEndian.Uint32(frame[1:5])}
+		if len(frame) > 5 {
+			rec.payload = append([]byte(nil), frame[5:]...)
+		}
+		recs = append(recs, rec)
+		off += int64(4 + frameLen + 4)
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if off != int64(len(data)) {
+		// Torn tail: cut it before appending, so a replay after a later
+		// crash cannot resurrect half a record's bytes as garbage.
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(off, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &wal{f: f, path: path, size: off, nosync: nosync, records: len(recs)}
+	if off != int64(len(data)) {
+		if err := w.sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	return w, recs, nil
+}
+
+// append writes one record. It does not sync; callers batch appends and call
+// sync once before acknowledging (the durability point).
+func (w *wal) append(op uint8, id uint32, payload []byte) error {
+	frameLen := 5 + len(payload)
+	if frameLen > walMaxFrame {
+		return fmt.Errorf("lsm: WAL record of %d bytes exceeds the %d-byte frame cap", frameLen, walMaxFrame)
+	}
+	buf := make([]byte, 0, 4+frameLen+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(frameLen))
+	buf = append(buf, op)
+	buf = binary.LittleEndian.AppendUint32(buf, id)
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf[4:], walCastagnoli))
+	if _, err := w.f.Write(buf); err != nil {
+		return err
+	}
+	w.size += int64(len(buf))
+	w.records++
+	return nil
+}
+
+// sync flushes appended records to stable storage — the write-durability
+// point. With nosync set (tests, ephemeral trees) it is a no-op.
+func (w *wal) sync() error {
+	if w.nosync {
+		return nil
+	}
+	return w.f.Sync()
+}
+
+// close syncs and closes the segment file.
+func (w *wal) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -2,19 +2,27 @@ package seqscan
 
 import (
 	"io"
+	"slices"
 
 	"repro/internal/codec"
 	"repro/internal/space"
 )
 
-// Persistence. A sequential scanner has no derived structure at all — the
-// payload is empty and the file is pure header. It still participates in the
-// format so "save every index of a deployment, load them all back" needs no
-// special case for the exact baseline.
+// Persistence. A sequential scanner has no derived structure; the payload is
+// just the dynamic-maintenance state — the sorted tombstone list — so a
+// scanner that saw deletions round-trips exactly (format version 2; version 1
+// files had an empty payload and predate dynamic maintenance).
 
 // Save serializes the scanner under kind "seqscan".
 func (s *Scanner[T]) Save(w io.Writer) error {
-	return codec.NewWriter(w, codec.KindSeqScan, s.sp.Name(), len(s.data)).Close()
+	cw := codec.NewWriter(w, codec.KindSeqScan, s.sp.Name(), len(s.data))
+	tombs := make([]uint32, 0, len(s.deleted))
+	for id := range s.deleted {
+		tombs = append(tombs, id)
+	}
+	slices.Sort(tombs)
+	cw.U32s(tombs)
+	return cw.Close()
 }
 
 // Load reads a scanner saved by Save over the same data.
@@ -22,8 +30,21 @@ func Load[T any](cr *codec.Reader, sp space.Space[T], data []T) (*Scanner[T], er
 	if err := cr.Expect(codec.KindSeqScan, sp.Name(), len(data)); err != nil {
 		return nil, err
 	}
+	tombs := cr.U32s()
+	for _, id := range tombs {
+		if int(id) >= len(data) {
+			cr.Corruptf("tombstone id %d out of range (n=%d)", id, len(data))
+		}
+	}
 	if err := cr.Finish(); err != nil {
 		return nil, err
 	}
-	return New(sp, data), nil
+	s := New(sp, data)
+	for _, id := range tombs {
+		if s.deleted == nil {
+			s.deleted = make(map[uint32]struct{}, len(tombs))
+		}
+		s.deleted[id] = struct{}{}
+	}
+	return s, nil
 }

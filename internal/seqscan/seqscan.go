@@ -11,10 +11,13 @@ import (
 	"repro/internal/topk"
 )
 
-// Scanner performs exact k-NN search over a fixed slice of objects.
+// Scanner performs exact k-NN search over a slice of objects. The slice may
+// grow via Add and entries may be tombstoned via Delete (see dynamic.go);
+// searches skip tombstoned points.
 type Scanner[T any] struct {
-	sp   space.Space[T]
-	data []T
+	sp      space.Space[T]
+	data    []T
+	deleted map[uint32]struct{} // nil until the first Delete
 }
 
 // New creates a scanner over data. The slice is retained, not copied; the
@@ -38,6 +41,11 @@ func (s *Scanner[T]) Search(query T, k int) []topk.Neighbor {
 	}
 	q := topk.NewQueue(k)
 	for i, x := range s.data {
+		if s.deleted != nil {
+			if _, dead := s.deleted[uint32(i)]; dead {
+				continue
+			}
+		}
 		q.Push(uint32(i), s.sp.Distance(x, query))
 	}
 	return q.Results()
@@ -55,6 +63,11 @@ func (s *Scanner[T]) SearchAll(queries []T, k int) [][]topk.Neighbor {
 func (s *Scanner[T]) RangeSearch(query T, radius float64) []topk.Neighbor {
 	var out []topk.Neighbor
 	for i, x := range s.data {
+		if s.deleted != nil {
+			if _, dead := s.deleted[uint32(i)]; dead {
+				continue
+			}
+		}
 		if d := s.sp.Distance(x, query); d <= radius {
 			out = append(out, topk.Neighbor{ID: uint32(i), Dist: d})
 		}

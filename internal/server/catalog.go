@@ -11,6 +11,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/lsm"
 	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/space"
@@ -52,6 +53,13 @@ type Manifest struct {
 	// the index's serving defaults, restored after any per-request
 	// override.
 	Params map[string]float64 `json:"params,omitempty"`
+	// Mutable opens a WAL-backed LSM tree (internal/lsm) in <name>.tiers/
+	// next to the index file and enables POST add/delete/flush: the .psix
+	// serves as the immutable base corpus, writes land in the tree, and
+	// searches scatter-gather base + sealed tiers + memtable. Incompatible
+	// with Shard (a sharded corpus is repartitioned offline, not mutated in
+	// place).
+	Mutable bool `json:"mutable,omitempty"`
 }
 
 // servedIndex is the type-erased face of one loaded index: JSON-encoded
@@ -68,11 +76,22 @@ type servedIndex interface {
 // typedIndex adapts one concrete index.Index[T] to servedIndex. For shard
 // indexes, ids maps shard-local result ids to corpus-global ids (nil for an
 // unsharded index); the map is strictly increasing (internal/shard.IDs), so
-// translation preserves the canonical (dist, id) result order.
+// translation preserves the canonical (dist, id) result order. For mutable
+// indexes, tree wraps idx so searches cover tiers and memtable too.
 type typedIndex[T any] struct {
-	idx index.Index[T]
-	dec func(json.RawMessage) (T, error)
-	ids []uint32
+	idx  index.Index[T]
+	dec  func(json.RawMessage) (T, error)
+	ids  []uint32
+	tree *lsm.Tree[T]
+}
+
+// searchIndex returns the index the search paths should query: the raw
+// base index, or the tiered view when the entry is mutable.
+func (t *typedIndex[T]) searchIndex() index.Index[T] {
+	if t.tree != nil {
+		return treeIndex[T]{base: t.idx, tree: t.tree}
+	}
+	return t.idx
 }
 
 // globalize rewrites shard-local ids to corpus-global ids in place.
@@ -90,7 +109,7 @@ func (t *typedIndex[T]) search(raw json.RawMessage, k int) ([]topk.Neighbor, err
 	if err != nil {
 		return nil, badRequestf("query: %v", err)
 	}
-	return t.globalize(t.idx.Search(q, k)), nil
+	return t.globalize(t.searchIndex().Search(q, k)), nil
 }
 
 func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
@@ -102,7 +121,7 @@ func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.P
 		}
 		qs[i] = q
 	}
-	outs := engine.SearchBatchPool(pool, t.idx, qs, k)
+	outs := engine.SearchBatchPool(pool, t.searchIndex(), qs, k)
 	for _, ns := range outs {
 		t.globalize(ns)
 	}
@@ -122,10 +141,12 @@ func (t *typedIndex[T]) applyParams(p experiments.Params) (func(), error) {
 	}, nil
 }
 
-// loadServed loads the index file at path per its manifest: regenerate the
+// loadServed loads the entry's index file per its manifest: regenerate the
 // corpus named by the manifest, resolve the space from the file header, and
-// reconstruct the index over both.
-func loadServed(path string, man Manifest) (servedIndex, codec.Header, error) {
+// reconstruct the index over both. For a mutable manifest it also opens (or
+// reuses — the tree outlives snapshots) the entry's LSM tree.
+func loadServed(e *entry, man Manifest) (servedIndex, codec.Header, error) {
+	path := e.path
 	hdr, err := persist.PeekHeader(path)
 	if err != nil {
 		return nil, codec.Header{}, err
@@ -136,23 +157,23 @@ func loadServed(path string, man Manifest) (servedIndex, codec.Header, error) {
 	switch {
 	case man.Dataset == "sift":
 		data := dataset.SIFT(man.Seed, man.N)
-		return loadTyped(path, hdr, man, data, denseSpace, decodeDense(len(data[0])))
+		return loadTyped(e, hdr, man, data, denseSpace, decodeDense(len(data[0])))
 	case man.Dataset == "cophir":
 		data := dataset.CoPhIR(man.Seed, man.N)
-		return loadTyped(path, hdr, man, data, denseSpace, decodeDense(len(data[0])))
+		return loadTyped(e, hdr, man, data, denseSpace, decodeDense(len(data[0])))
 	case man.Dataset == "dna":
-		return loadTyped(path, hdr, man, dataset.DNA(man.Seed, man.N, dataset.DNAOptions{}), stringSpace, decodeString)
+		return loadTyped(e, hdr, man, dataset.DNA(man.Seed, man.N, dataset.DNAOptions{}), stringSpace, decodeString)
 	case man.Dataset == "wiki-sparse":
-		return loadTyped(path, hdr, man, dataset.WikiSparse(man.Seed, man.N, dataset.WikiSparseOptions{}), sparseSpace, decodeSparse)
+		return loadTyped(e, hdr, man, dataset.WikiSparse(man.Seed, man.N, dataset.WikiSparseOptions{}), sparseSpace, decodeSparse)
 	case man.Dataset == "imagenet":
 		data := dataset.ImageNet(man.Seed, man.N, dataset.SignatureOptions{})
-		return loadTyped(path, hdr, man, data, signatureSpace, decodeSignature(data[0].Dim))
+		return loadTyped(e, hdr, man, data, signatureSpace, decodeSignature(data[0].Dim))
 	case strings.HasPrefix(man.Dataset, "wiki-"):
 		topics, err := strconv.Atoi(strings.TrimPrefix(man.Dataset, "wiki-"))
 		if err != nil || topics <= 1 {
 			return nil, hdr, fmt.Errorf("manifest: dataset %q is not wiki-<topics>", man.Dataset)
 		}
-		return loadTyped(path, hdr, man, dataset.WikiLDA(man.Seed, man.N, topics), histogramSpace, decodeHistogram(topics))
+		return loadTyped(e, hdr, man, dataset.WikiLDA(man.Seed, man.N, topics), histogramSpace, decodeHistogram(topics))
 	default:
 		return nil, hdr, fmt.Errorf("manifest: unknown dataset %q", man.Dataset)
 	}
@@ -160,9 +181,14 @@ func loadServed(path string, man Manifest) (servedIndex, codec.Header, error) {
 
 // loadTyped finishes loadServed for one object type: carve the shard subset
 // when the manifest carries a stamp, resolve the space the file was built
-// under, load, and apply the manifest's default params.
-func loadTyped[T any](path string, hdr codec.Header, man Manifest, data []T,
+// under, load, apply the manifest's default params, and attach the entry's
+// mutable tree when the manifest asks for one.
+func loadTyped[T any](e *entry, hdr codec.Header, man Manifest, data []T,
 	spOf func(string) (space.Space[T], error), dec func(json.RawMessage) (T, error)) (servedIndex, codec.Header, error) {
+	path := e.path
+	if man.Mutable && man.Shard != nil {
+		return nil, hdr, fmt.Errorf("%s: manifest: mutable and shard are incompatible", path)
+	}
 	var ids []uint32
 	if man.Shard != nil {
 		if err := man.Shard.Validate(); err != nil {
@@ -191,7 +217,22 @@ func loadTyped[T any](path string, hdr codec.Header, man Manifest, data []T,
 			return nil, hdr, fmt.Errorf("%s: manifest params: %w", path, err)
 		}
 	}
-	return &typedIndex[T]{idx: idx, dec: dec, ids: ids}, hdr, nil
+	ti := &typedIndex[T]{idx: idx, dec: dec, ids: ids}
+	if man.Mutable {
+		tree, err := openTree(e, man, data, lsm.Options[T]{
+			Dir:   strings.TrimSuffix(path, persist.Ext) + ".tiers",
+			Space: sp,
+			// Added objects arrive as JSON in the same encoding queries
+			// use; the tree stores those raw bytes (WAL + tier segments)
+			// and re-decodes them on recovery.
+			Decode: func(raw []byte) (T, error) { return dec(json.RawMessage(raw)) },
+		})
+		if err != nil {
+			return nil, hdr, fmt.Errorf("%s: mutable tier: %w", path, err)
+		}
+		ti.tree = tree
+	}
+	return ti, hdr, nil
 }
 
 // Space resolution per object type. The header's space tag names a

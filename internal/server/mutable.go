@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+
+	"repro/internal/index"
+	"repro/internal/lsm"
+	"repro/internal/topk"
+)
+
+// The mutable serving tier. A manifest with "mutable": true gives the entry
+// an lsm.Tree living in <name>.tiers/ next to the index file: the .psix
+// stays the immutable base corpus index, while adds and deletes flow
+// through the tree's WAL-backed memtable and sealed tiers. The tree is
+// entry state, not snapshot state — a hot reload swaps the base index
+// generation under the SAME tree, so acknowledged writes survive reloads
+// exactly like they survive restarts.
+//
+// Write/reload exclusion is two-sided and lock-shaped rather than
+// flag-shaped: every write holds the entry's ingest lock shared for its
+// whole WAL append + ack, and Reload holds it exclusively across the
+// unsealed-writes check and the snapshot swap. A write that arrives during
+// a reload fails fast with 409 (TryRLock), and a reload that arrives while
+// the tree holds unsealed writes is refused with 409 until a flush seals
+// them — so neither side can ever observe the other half-done.
+
+// servedTree is the type-erased face of an entry's mutable tree; the HTTP
+// layer never sees the object type.
+type servedTree interface {
+	add(raws []json.RawMessage) ([]uint32, error)
+	remove(ids []uint32) error
+	flush() (*lsm.TierStatus, error)
+	treeStatus() lsm.Status
+	unsealed() int
+	close() error
+}
+
+// typedTree adapts one concrete lsm.Tree[T] to servedTree.
+type typedTree[T any] struct {
+	tree *lsm.Tree[T]
+}
+
+func (t *typedTree[T]) add(raws []json.RawMessage) ([]uint32, error) {
+	bufs := make([][]byte, len(raws))
+	for i, raw := range raws {
+		bufs[i] = []byte(raw)
+	}
+	return t.tree.AddBatch(bufs)
+}
+
+func (t *typedTree[T]) remove(ids []uint32) error       { return t.tree.DeleteBatch(ids) }
+func (t *typedTree[T]) flush() (*lsm.TierStatus, error) { return t.tree.Flush() }
+func (t *typedTree[T]) treeStatus() lsm.Status          { return t.tree.Status() }
+func (t *typedTree[T]) unsealed() int                   { return t.tree.Unsealed() }
+func (t *typedTree[T]) close() error                    { return t.tree.Close() }
+
+// treeIndex adapts (base index, tree) to index.Index so the search paths —
+// including the batch engine fan-out — treat a mutable entry like any
+// other index.
+type treeIndex[T any] struct {
+	base index.Index[T]
+	tree *lsm.Tree[T]
+}
+
+func (ti treeIndex[T]) Search(q T, k int) []topk.Neighbor {
+	return ti.tree.Search(ti.base, q, k)
+}
+
+func (ti treeIndex[T]) Name() string { return ti.base.Name() + "+lsm" }
+
+// openTree opens (or reuses, across reloads) the entry's tree for a mutable
+// manifest. Called with the entry exclusively owned: OpenDir is
+// single-threaded and Reload holds both reloadMu and the ingest lock.
+func openTree[T any](e *entry, man Manifest, data []T, opts lsm.Options[T]) (*lsm.Tree[T], error) {
+	if e.tree != nil {
+		tt, ok := e.tree.(*typedTree[T])
+		if !ok {
+			return nil, fmt.Errorf("mutable index changed object type across reloads")
+		}
+		if tt.tree.BaseN() != len(data) {
+			return nil, fmt.Errorf("mutable index changed base corpus size across reloads: tree holds %d, new generation has %d", tt.tree.BaseN(), len(data))
+		}
+		if got, want := tt.tree.Space().Name(), opts.Space.Name(); got != want {
+			return nil, fmt.Errorf("mutable index changed space across reloads: tree holds %q, new generation uses %q", got, want)
+		}
+		return tt.tree, nil
+	}
+	opts.BaseN = len(data)
+	tree, err := lsm.Open(opts)
+	if err != nil {
+		return nil, err
+	}
+	e.tree = &typedTree[T]{tree: tree}
+	return tree, nil
+}
+
+// addRequest is the body of POST /v1/indexes/{name}/add: exactly one of
+// "object" (one object in the index's JSON query encoding) or "objects" (a
+// batch).
+type addRequest struct {
+	Object  json.RawMessage   `json:"object,omitempty"`
+	Objects []json.RawMessage `json:"objects,omitempty"`
+}
+
+// deleteRequest is the body of POST /v1/indexes/{name}/delete: exactly one
+// of "id" or "ids".
+type deleteRequest struct {
+	ID  *uint32  `json:"id,omitempty"`
+	IDs []uint32 `json:"ids,omitempty"`
+}
+
+func (r *deleteRequest) all() []uint32 {
+	if r.ID != nil {
+		return []uint32{*r.ID}
+	}
+	return slices.Clone(r.IDs)
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,6 +36,14 @@ type entry struct {
 	// they resolve snap once and run on that generation.
 	reloadMu sync.Mutex
 	stats    counters
+	// tree is the mutable serving tier (manifest "mutable": true), nil for
+	// an immutable entry. Unlike snap it persists across reloads: a reload
+	// swaps the base index generation under the same tree, so acknowledged
+	// writes survive. Writes hold ingestMu shared for their whole
+	// append+ack; Reload holds it exclusively across its unsealed-writes
+	// check and snapshot swap (see internal/server/mutable.go).
+	tree     servedTree
+	ingestMu sync.RWMutex
 }
 
 // snapshot is one loaded generation of an entry. A reload builds a complete
@@ -83,6 +92,7 @@ func OpenDir(dir string) (*Registry, error) {
 		}
 		snap, err := loadSnapshot(e)
 		if err != nil {
+			r.Close() // trees opened for earlier entries hold WAL handles
 			return nil, fmt.Errorf("index %q: %w", name, err)
 		}
 		e.snap.Store(snap)
@@ -96,6 +106,22 @@ func OpenDir(dir string) (*Registry, error) {
 	return r, nil
 }
 
+// Close releases every entry's mutable tree (WAL file handles, background
+// compaction). Searches over immutable snapshots are unaffected; writes
+// fail after Close. Safe to call on a partially built registry.
+func (r *Registry) Close() error {
+	var first error
+	for _, e := range r.entries {
+		if e.tree == nil {
+			continue
+		}
+		if err := e.tree.close(); err != nil && first == nil {
+			first = fmt.Errorf("index %q: %w", e.name, err)
+		}
+	}
+	return first
+}
+
 // loadSnapshot reads the entry's manifest and index file into a fresh
 // snapshot, touching nothing shared — the caller decides when to swap.
 func loadSnapshot(e *entry) (*snapshot, error) {
@@ -103,7 +129,7 @@ func loadSnapshot(e *entry) (*snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	served, hdr, err := loadServed(e.path, man)
+	served, hdr, err := loadServed(e, man)
 	if err != nil {
 		return nil, err
 	}
@@ -132,11 +158,21 @@ func (r *Registry) Names() []string { return r.names }
 // get returns the named entry, or nil.
 func (r *Registry) get(name string) *entry { return r.entries[name] }
 
+// errUnsealedWrites marks a reload refused because the entry's mutable
+// tree still holds writes only its WAL makes durable; the caller flushes
+// (sealing them into a tier) and retries. Answered 409, not 500.
+var errUnsealedWrites = errors.New("unsealed writes pending")
+
 // Reload re-reads the named index's manifest and file from disk and swaps
 // the new generation in atomically. In-flight queries finish on the old
 // snapshot; new queries see the new one; nothing is ever served
 // half-loaded. On failure the old snapshot stays live and the error is
 // returned — reloading a bad file is a no-op, not an outage.
+//
+// For a mutable entry, Reload excludes writes for its whole duration (they
+// answer 409 meanwhile) and refuses to run at all while the memtable holds
+// unsealed writes: the new snapshot must go live against a tree whose
+// state is fully sealed, so a reload can never race an acknowledgement.
 func (r *Registry) Reload(name string) (codec.Header, error) {
 	e := r.get(name)
 	if e == nil {
@@ -144,6 +180,13 @@ func (r *Registry) Reload(name string) (codec.Header, error) {
 	}
 	e.reloadMu.Lock()
 	defer e.reloadMu.Unlock()
+	if e.tree != nil {
+		e.ingestMu.Lock()
+		defer e.ingestMu.Unlock()
+		if n := e.tree.unsealed(); n > 0 {
+			return codec.Header{}, fmt.Errorf("index %q has %d unsealed writes (POST .../flush first): %w", name, n, errUnsealedWrites)
+		}
+	}
 	snap, err := loadSnapshot(e)
 	if err != nil {
 		return codec.Header{}, err

@@ -6,10 +6,13 @@
 // # API
 //
 //	GET  /healthz                      liveness probe
-//	GET  /statusz                      per-index QPS/latency counters
+//	GET  /statusz                      per-index QPS/latency counters (+ tier rows for mutable indexes)
 //	GET  /v1/indexes                   list indexes + header metadata
 //	POST /v1/indexes/{name}/search     answer queries (single or batch)
 //	POST /v1/indexes/{name}/reload     hot-swap the index from its file
+//	POST /v1/indexes/{name}/add        ingest objects (mutable indexes; WAL-durable on ack)
+//	POST /v1/indexes/{name}/delete     tombstone objects (mutable indexes)
+//	POST /v1/indexes/{name}/flush      seal the memtable into an immutable tier
 //
 // A search body carries exactly one of "query" (one object) or "queries"
 // (a batch, fanned out over the worker pool), "k" (default 10), and
@@ -25,6 +28,17 @@
 // computed half on the old and half on the new index. Per-request params
 // take the snapshot's knob lock exclusively (plain searches share it), so a
 // param override can neither race another search nor leak into one.
+//
+// # Mutability
+//
+// An index whose manifest sets "mutable": true accepts add/delete/flush:
+// writes flow into a WAL-backed LSM tree (internal/lsm) beside the index
+// file, an acknowledged write survives kill -9, and searches cover base +
+// sealed tiers + memtable with results identical to a flat index over the
+// live set (when components search exactly). Writes and reloads exclude
+// each other: a write during a reload answers 409 immediately, and a
+// reload while the memtable holds unsealed writes answers 409 until a
+// flush seals them.
 package server
 
 import (
@@ -40,6 +54,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/lsm"
 	"repro/internal/shard"
 	"repro/internal/topk"
 )
@@ -90,6 +105,9 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/indexes", s.recovered(s.handleList))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/search", s.recovered(s.handleSearch))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/reload", s.recovered(s.handleReload))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/add", s.recovered(s.handleAdd))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/delete", s.recovered(s.handleDelete))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/flush", s.recovered(s.handleFlush))
 	return s
 }
 
@@ -230,6 +248,10 @@ type indexStatus struct {
 	Reloads       int64       `json:"reloads"`
 	QPS           float64     `json:"qps"`             // queries / process uptime
 	MeanLatencyUs float64     `json:"mean_latency_us"` // per search request
+	// Mutable is present for WAL-backed mutable entries: live counts,
+	// per-tier rows (n, seq, tombstones, kind) and WAL depth/bytes — the
+	// observables an operator gates flushes and reloads on.
+	Mutable *lsm.Status `json:"mutable,omitempty"`
 }
 
 // handleHealthz is the readiness probe: 200 "ok" only when every named
@@ -303,6 +325,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 		if row.Requests > 0 {
 			row.MeanLatencyUs = float64(e.stats.latencyNs.Load()) / float64(row.Requests) / 1e3
 		}
+		if e.tree != nil {
+			st := e.tree.treeStatus()
+			row.Mutable = &st
+		}
 		rows = append(rows, row)
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
@@ -320,14 +346,134 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	hdr, err := s.reg.Reload(name)
 	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, errUnsealedWrites) {
+			// Not a failure of the reload machinery: the caller flushes and
+			// retries. The previous generation keeps serving either way.
+			status = http.StatusConflict
+		}
 		s.log.Printf("server: reload %q failed, previous generation stays live: %v", name, err)
-		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("reload %q: %v", name, err))
+		s.writeError(w, status, fmt.Sprintf("reload %q: %v", name, err))
 		return
 	}
 	s.log.Printf("server: reloaded %q (%s, n=%d)", name, hdr.Kind, hdr.N)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"reloaded": name, "kind": hdr.Kind, "space": hdr.Space, "n": hdr.N,
 	})
+}
+
+// mutableEntry resolves the common preconditions of the write endpoints:
+// the name must exist (404), be mutable (409) and not be mid-reload (409).
+// On success the entry is returned with its ingest lock held shared; the
+// caller must call release when the write is acknowledged (or failed).
+func (s *Server) mutableEntry(w http.ResponseWriter, r *http.Request) (e *entry, release func(), ok bool) {
+	name := r.PathValue("name")
+	e = s.reg.get(name)
+	if e == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no index %q", name))
+		return nil, nil, false
+	}
+	if e.tree == nil {
+		s.writeError(w, http.StatusConflict, fmt.Sprintf("index %q is not mutable (set \"mutable\": true in its manifest)", name))
+		return nil, nil, false
+	}
+	if !e.ingestMu.TryRLock() {
+		s.writeError(w, http.StatusConflict, fmt.Sprintf("index %q is reloading; retry", name))
+		return nil, nil, false
+	}
+	return e, e.ingestMu.RUnlock, true
+}
+
+// writeWriteError maps a tree write failure to a status: request-shaped
+// failures (bad payload, unknown id) are the client's 400, anything else is
+// a storage-side 500.
+func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
+	if errors.Is(err, lsm.ErrInvalid) {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+// handleAdd ingests objects: body {"object": <obj>} or {"objects": [...]},
+// objects in the same JSON encoding searches use for queries. The response
+// lists the assigned ids in input order; when it arrives, the write is
+// fsync-durable (it survives kill -9).
+func (s *Server) handleAdd(w http.ResponseWriter, r *http.Request) {
+	e, release, ok := s.mutableEntry(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req addRequest
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed body: %v", err))
+		return
+	}
+	if (req.Object == nil) == (len(req.Objects) == 0) {
+		s.writeError(w, http.StatusBadRequest, `body must carry exactly one of "object" or a non-empty "objects"`)
+		return
+	}
+	raws := req.Objects
+	if req.Object != nil {
+		raws = []json.RawMessage{req.Object}
+	}
+	ids, err := e.tree.add(raws)
+	if err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"index": e.name, "ids": ids})
+}
+
+// handleDelete tombstones objects: body {"id": 7} or {"ids": [7, 9]}. Every
+// id must name a distinct live object or the whole batch is rejected.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	e, release, ok := s.mutableEntry(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	var req deleteRequest
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, &req)
+	}
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed body: %v", err))
+		return
+	}
+	if (req.ID == nil) == (len(req.IDs) == 0) {
+		s.writeError(w, http.StatusBadRequest, `body must carry exactly one of "id" or a non-empty "ids"`)
+		return
+	}
+	ids := req.all()
+	if err := e.tree.remove(ids); err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"index": e.name, "deleted": len(ids)})
+}
+
+// handleFlush seals the memtable into an immutable tier, emptying the WAL;
+// afterwards a reload (or restart) needs no replay. "sealed" is null when
+// there was nothing to seal.
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	e, release, ok := s.mutableEntry(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	st, err := e.tree.flush()
+	if err != nil {
+		s.writeWriteError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"index": e.name, "sealed": st})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -364,8 +510,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	snap := e.snap.Load()
 	// Cap k at the corpus size: Search never returns more than n results
 	// anyway, and the top-k queues pre-allocate k slots per query — an
-	// uncapped k would let one request allocate the daemon to death.
-	if n := int(snap.hdr.N); req.K > n && n > 0 {
+	// uncapped k would let one request allocate the daemon to death. A
+	// mutable entry's corpus is its live set, which can exceed the base n.
+	n := int(snap.hdr.N)
+	if e.tree != nil {
+		n = e.tree.treeStatus().Live
+	}
+	if req.K > n && n > 0 {
 		req.K = n
 	}
 	resp, err := runDetached(ctx, s.log, func() (any, error) {

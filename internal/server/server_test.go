@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -216,8 +217,8 @@ func TestServedListAndHealth(t *testing.T) {
 		t.Fatalf("listed %d indexes, want 2", len(list.Indexes))
 	}
 	want := []indexInfo{
-		{Name: "dna-vptree", Kind: "vptree", Space: "normleven", N: e2eDNAN, Version: 1, Dataset: "dna", Seed: e2eSeed},
-		{Name: "sift-napp", Kind: "napp", Space: "l2", N: e2eDenseN, Version: 1, Dataset: "sift", Seed: e2eSeed},
+		{Name: "dna-vptree", Kind: "vptree", Space: "normleven", N: e2eDNAN, Version: codec.Version, Dataset: "dna", Seed: e2eSeed},
+		{Name: "sift-napp", Kind: "napp", Space: "l2", N: e2eDenseN, Version: codec.Version, Dataset: "sift", Seed: e2eSeed},
 	}
 	if !reflect.DeepEqual(list.Indexes, want) {
 		t.Fatalf("listing = %+v, want %+v", list.Indexes, want)
