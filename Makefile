@@ -61,16 +61,23 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 30s ./internal/codec/
 
 # Query hot-path microbenchmarks (-benchmem) + the machine-readable
-# BENCH_PR5.json trajectory point (per method: ns/op, B/op, allocs/op, QPS;
+# BENCH_PR8.json trajectory point (per method: ns/op, B/op, allocs/op, QPS;
 # napp-sharded3 tracks the scatter-gather router against unsharded napp).
+# bench.sh also diffs the point against the latest previous committed
+# BENCH_PR*.json (scripts/benchcheck -prev): dropped methods always fail,
+# >25% ns/op regressions fail on the same machine identity.
 # Override the output with BENCH_OUT=path.
 bench:
 	./scripts/bench.sh
 
-# Fast non-gating CI pass over the same harness: proves the benchmarks
-# still compile/run and the JSON emitter still parses their output.
+# Fast CI pass over the same harness: proves the benchmarks still
+# compile/run, the JSON emitter still parses their output, and — via the
+# trajectory diff bench.sh runs against the latest committed
+# BENCH_PR*.json — that no benchmarked method silently disappeared and
+# (same machine identity only) that ns/op hasn't regressed >25%. 50
+# iterations keeps the smoke fast while damping single-run timer noise.
 bench-smoke:
-	./scripts/bench.sh /tmp/bench_smoke.json 10x
+	./scripts/bench.sh /tmp/bench_smoke.json 50x
 	@grep -q '"method"' /tmp/bench_smoke.json
 
 # Batch-engine throughput: the serial reference loop vs SearchBatch at

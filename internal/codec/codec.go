@@ -55,19 +55,20 @@ const Version = 2
 // Kind tags, one per persistable index family. The tag doubles as the
 // index's report name (index.Index.Name), so a file is self-describing.
 const (
-	KindBruteForce = "brute-force-filt"
-	KindBinFilter  = "brute-force-filt-bin"
-	KindDistVec    = "distvec-filt"
-	KindPPIndex    = "pp-index"
-	KindMIFile     = "mi-file"
-	KindNAPP       = "napp"
-	KindOMEDRANK   = "omedrank"
-	KindPermVPTree = "perm-vptree"
-	KindVPTree     = "vptree"
-	KindMPLSH      = "mplsh"
-	KindSWGraph    = "sw-graph"
-	KindNNDescent  = "nndescent-graph"
-	KindSeqScan    = "seqscan"
+	KindBruteForce  = "brute-force-filt"
+	KindBinFilter   = "brute-force-filt-bin"
+	KindQuantFilter = "brute-force-filt-quant"
+	KindDistVec     = "distvec-filt"
+	KindPPIndex     = "pp-index"
+	KindMIFile      = "mi-file"
+	KindNAPP        = "napp"
+	KindOMEDRANK    = "omedrank"
+	KindPermVPTree  = "perm-vptree"
+	KindVPTree      = "vptree"
+	KindMPLSH       = "mplsh"
+	KindSWGraph     = "sw-graph"
+	KindNNDescent   = "nndescent-graph"
+	KindSeqScan     = "seqscan"
 )
 
 // KindLSMSegment tags a sealed LSM tier segment (internal/lsm): the raw
@@ -81,8 +82,8 @@ const KindLSMSegment = "lsm-segment"
 // fixed report order.
 func Kinds() []string {
 	return []string{
-		KindBruteForce, KindBinFilter, KindDistVec, KindPPIndex,
-		KindMIFile, KindNAPP, KindOMEDRANK, KindPermVPTree,
+		KindBruteForce, KindBinFilter, KindQuantFilter, KindDistVec,
+		KindPPIndex, KindMIFile, KindNAPP, KindOMEDRANK, KindPermVPTree,
 		KindVPTree, KindMPLSH, KindSWGraph, KindNNDescent, KindSeqScan,
 	}
 }

@@ -61,6 +61,8 @@ func allocKinds(t *testing.T) (queries [][]float32, kinds []struct {
 	mk("brute-force-filt", bf, err)
 	bin, err := core.NewBinFilter(sp32(), db, core.BinFilterOptions{NumPivots: 64, Seed: seed})
 	mk("brute-force-filt-bin", bin, err)
+	quant, err := core.NewQuantFilter(sp32(), db, core.QuantFilterOptions{NumPivots: 64, Seed: seed})
+	mk("brute-force-filt-quant", quant, err)
 	dv, err := core.NewDistVecFilter(sp32(), db, core.BruteForceOptions{NumPivots: 32, Seed: seed})
 	mk("distvec-filt", dv, err)
 	om, err := core.NewOMEDRANK(sp32(), db, core.OMEDRANKOptions{NumVoters: 6, Seed: seed})

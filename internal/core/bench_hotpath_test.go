@@ -74,6 +74,7 @@ func benchKinds(b *testing.B, sp space.Space[[]float32], db [][]float32) []struc
 	shardedNapp, errSharded := buildShardedNapp(sp, db, 3)
 	bf, errBf := core.NewBruteForceFilter(sp, db, core.BruteForceOptions{NumPivots: 64, Seed: benchSeed})
 	bin, errBin := core.NewBinFilter(sp, db, core.BinFilterOptions{NumPivots: 128, Seed: benchSeed})
+	quant, errQuant := core.NewQuantFilter(sp, db, core.QuantFilterOptions{NumPivots: 64, Seed: benchSeed})
 	dv, errDv := core.NewDistVecFilter(sp, db, core.BruteForceOptions{NumPivots: 64, Seed: benchSeed})
 	om, errOm := core.NewOMEDRANK(sp, db, core.OMEDRANKOptions{NumVoters: 8, Seed: benchSeed})
 	return []struct {
@@ -87,6 +88,7 @@ func benchKinds(b *testing.B, sp space.Space[[]float32], db [][]float32) []struc
 		mk("pp-index", pp, errPp),
 		mk("brute-force-filt", bf, errBf),
 		mk("brute-force-filt-bin", bin, errBin),
+		mk("brute-force-filt-quant", quant, errQuant),
 		mk("distvec-filt", dv, errDv),
 		mk("omedrank", om, errOm),
 	}

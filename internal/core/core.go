@@ -149,6 +149,7 @@ func (w *searcher[T, S]) SearchAppend(dst []topk.Neighbor, query T, k int) []top
 var (
 	_ index.SearcherProvider[[]float32] = (*BruteForceFilter[[]float32])(nil)
 	_ index.SearcherProvider[[]float32] = (*BinFilter[[]float32])(nil)
+	_ index.SearcherProvider[[]float32] = (*QuantFilter[[]float32])(nil)
 	_ index.SearcherProvider[[]float32] = (*DistVecFilter[[]float32])(nil)
 	_ index.SearcherProvider[[]float32] = (*PPIndex[[]float32])(nil)
 	_ index.SearcherProvider[[]float32] = (*MIFile[[]float32])(nil)

@@ -130,6 +130,52 @@ func LoadBinFilter[T any](cr *codec.Reader, sp space.Space[T], data []T) (*BinFi
 	return f, nil
 }
 
+// --- QuantFilter ---
+
+// Save serializes the quantized-prefix filter under kind
+// "brute-force-filt-quant".
+func (f *QuantFilter[T]) Save(w io.Writer) error {
+	cw := codec.NewWriter(w, codec.KindQuantFilter, f.sp.Name(), len(f.data))
+	if err := savePivots(cw, f.pivots); err != nil {
+		return err
+	}
+	cw.Int(f.opts.NumPivots)
+	cw.Int(f.opts.PrefixLen)
+	cw.F64(f.opts.Gamma)
+	cw.I64(f.opts.Seed)
+	cw.Int(f.words)
+	cw.U64s(f.sigs)
+	return cw.Close()
+}
+
+// LoadQuantFilter reads a quantized-prefix filter saved by Save over the
+// same data.
+func LoadQuantFilter[T any](cr *codec.Reader, sp space.Space[T], data []T) (*QuantFilter[T], error) {
+	if err := cr.Expect(codec.KindQuantFilter, sp.Name(), len(data)); err != nil {
+		return nil, err
+	}
+	f := &QuantFilter[T]{sp: sp, data: data}
+	f.pivots = loadPivots(cr, sp, data)
+	f.opts.NumPivots = cr.Int()
+	f.opts.PrefixLen = cr.Int()
+	f.opts.Gamma = cr.F64()
+	f.opts.Seed = cr.I64()
+	f.words = cr.Int()
+	f.sigs = cr.U64s()
+	if err := cr.Finish(); err != nil {
+		return nil, err
+	}
+	if f.opts.NumPivots != f.pivots.M() ||
+		f.opts.PrefixLen <= 0 || f.opts.PrefixLen > f.opts.NumPivots ||
+		f.words != permutation.QuantizedWords(f.opts.PrefixLen) ||
+		len(f.sigs) != len(data)*f.words || f.opts.Gamma <= 0 {
+		cr.Corruptf("inconsistent quant-filter sections (m=%d, prefix=%d, words=%d, sigs=%d)",
+			f.opts.NumPivots, f.opts.PrefixLen, f.words, len(f.sigs))
+		return nil, cr.Err()
+	}
+	return f, nil
+}
+
 // --- DistVecFilter ---
 
 // Save serializes the distance-vector filter under kind "distvec-filt".

@@ -142,6 +142,26 @@ func binSweep[T any](n int, seed int64) sweep[T] {
 	}
 }
 
+// quantSweep is brute-force filtering over 4-bit quantized permutation
+// prefixes: the PR 8 signature between full permutations and binarized
+// sketches.
+func quantSweep[T any](n int, seed int64) sweep[T] {
+	m := 64
+	if m > n {
+		m = n
+	}
+	return sweep[T]{
+		method: "brute-force-filt-quant",
+		table2: false,
+		build: func(sp space.Space[T], db []T) (index.Index[T], error) {
+			return core.NewQuantFilter(sp, db, core.QuantFilterOptions{
+				NumPivots: m, Seed: seed,
+			})
+		},
+		variants: gammaVariants[T](),
+	}
+}
+
 // mplshSweep is multi-probe LSH; L2 over dense vectors only, as in the
 // paper. The curve is traced by the probe count T.
 func mplshSweep(seed int64) sweep[[]float32] {

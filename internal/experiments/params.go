@@ -108,6 +108,8 @@ func knobsOf[T any](idx index.Index[T]) map[string]knob {
 		return gammaKnob(v.Gamma, v.SetGamma)
 	case *core.BinFilter[T]:
 		return gammaKnob(v.Gamma, v.SetGamma)
+	case *core.QuantFilter[T]:
+		return gammaKnob(v.Gamma, v.SetGamma)
 	case *core.DistVecFilter[T]:
 		return gammaKnob(v.Gamma, v.SetGamma)
 	case *core.NAPP[T]:

@@ -91,6 +91,7 @@ func init() {
 				nappSweep[space.Signature](n, cfg.Seed),
 				bfSweep[space.Signature](n, cfg.Seed),
 				binSweep[space.Signature](n, cfg.Seed),
+				quantSweep[space.Signature](n, cfg.Seed),
 			}
 		},
 	})
@@ -176,6 +177,7 @@ func init() {
 				nappSweep[[]byte](n, cfg.Seed),
 				bfSweep[[]byte](n, cfg.Seed),
 				binSweep[[]byte](n, cfg.Seed),
+				quantSweep[[]byte](n, cfg.Seed),
 			}
 		},
 	})

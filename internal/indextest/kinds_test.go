@@ -32,6 +32,9 @@ func genericKinds[T any](sp space.Space[T], db []T) []kindCase[T] {
 		{"brute-force-filt-bin", func() (index.Index[T], error) {
 			return core.NewBinFilter(sp, db, core.BinFilterOptions{NumPivots: 64, Seed: kindSeed})
 		}},
+		{"brute-force-filt-quant", func() (index.Index[T], error) {
+			return core.NewQuantFilter(sp, db, core.QuantFilterOptions{NumPivots: 32, PrefixLen: 16, Seed: kindSeed})
+		}},
 		{"distvec-filt", func() (index.Index[T], error) {
 			return core.NewDistVecFilter(sp, db, core.BruteForceOptions{NumPivots: 32, Seed: kindSeed})
 		}},

@@ -56,6 +56,9 @@ func tieredFullRecallKinds[T any](sp space.Space[T]) []tieredKind[T] {
 		{"brute-force-filt-bin", func(data []T) (index.Index[T], error) {
 			return core.NewBinFilter(sp, data, core.BinFilterOptions{NumPivots: 32, Gamma: 1, Seed: kindSeed})
 		}},
+		{"brute-force-filt-quant", func(data []T) (index.Index[T], error) {
+			return core.NewQuantFilter(sp, data, core.QuantFilterOptions{NumPivots: 32, PrefixLen: 16, Gamma: 1, Seed: kindSeed})
+		}},
 		{"distvec-filt", func(data []T) (index.Index[T], error) {
 			return core.NewDistVecFilter(sp, data, core.BruteForceOptions{NumPivots: 16, Gamma: 1, Seed: kindSeed})
 		}},

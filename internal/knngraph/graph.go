@@ -12,11 +12,11 @@ package knngraph
 
 import (
 	"math/rand"
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -93,6 +93,22 @@ type Graph[T any] struct {
 	seedCtr atomic.Int64
 	// buildDist counts construction-time distance computations.
 	buildDist atomic.Int64
+	// scratch pools per-query traversal state (visited arena, frontier,
+	// result queue, entry-point RNG) so a warm query allocates nothing.
+	scratch scratch.Pool[graphScratch]
+}
+
+// graphScratch is the per-query state of one graph traversal. The visited
+// set is an epoch-stamped arena — starting a query is O(1), not the O(N)
+// make([]bool, n) the traversal used to pay — and the RNG is reseeded in
+// place, producing the exact stream a fresh rand.New over the same seed
+// would.
+type graphScratch struct {
+	visited  scratch.Marks
+	frontier topk.MinQueue
+	results  topk.Queue
+	drain    []topk.Neighbor
+	r        *rand.Rand
 }
 
 // Name implements index.Index: "sw-graph" or "nndescent-graph".
@@ -161,12 +177,34 @@ func (g *Graph[T]) SearchBatch(queries []T, k, workers int) [][]topk.Neighbor {
 	return out
 }
 
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (g *Graph[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	if k <= 0 {
+		return dst
+	}
+	return g.searchSeededAppend(dst, query, k, g.seedCtr.Add(1))
+}
+
+// Graph deliberately does NOT implement index.SearcherProvider: entry
+// points are drawn from the shared seed counter, so two calls on the same
+// query legitimately answer differently — a minted Searcher could never
+// satisfy the answers-identical-to-Search contract. SearchAppend above is
+// the zero-alloc entry point instead; callers needing a Searcher shape get
+// the allocating-result fallback wrapper (e.g. lsm's mintSearcher).
+
 // searchSeeded answers one query with the entry-point RNG derived from ctr
 // (a seedCtr value).
 func (g *Graph[T]) searchSeeded(query T, k int, ctr int64) []topk.Neighbor {
 	if k <= 0 {
 		return nil
 	}
+	return g.searchSeededAppend(nil, query, k, ctr)
+}
+
+// searchSeededAppend runs one query through pooled scratch, appending the
+// top k of the ef-sized result set to dst.
+func (g *Graph[T]) searchSeededAppend(dst []topk.Neighbor, query T, k int, ctr int64) []topk.Neighbor {
 	ef := g.opts.EfSearch
 	if ef < k {
 		ef = k
@@ -174,67 +212,57 @@ func (g *Graph[T]) searchSeeded(query T, k int, ctr int64) []topk.Neighbor {
 	if ef < g.opts.NN {
 		ef = g.opts.NN
 	}
-	r := rand.New(rand.NewSource(g.opts.Seed ^ ctr))
-	res := g.searchInternal(query, ef, g.opts.InitAttempts, r, nil, false)
+	s := g.scratch.Get()
+	defer g.scratch.Put(s)
+	seed := g.opts.Seed ^ ctr
+	if s.r == nil {
+		s.r = rand.New(rand.NewSource(seed))
+	} else {
+		// Seeding in place restarts the source and discards buffered
+		// state, so the stream is identical to a fresh rand.New.
+		s.r.Seed(seed)
+	}
+	g.traverse(s, query, ef, g.opts.InitAttempts)
+	s.drain = s.results.AppendResults(s.drain[:0])
+	res := s.drain
 	if len(res) > k {
 		res = res[:k]
 	}
-	return res
+	return append(dst, res...)
 }
 
-// searchInternal runs the restart loop. When rl is non-nil it is read-locked
-// around adjacency accesses (used during parallel SW construction); count
-// adds distance evaluations to the build counter.
-func (g *Graph[T]) searchInternal(query T, ef, attempts int, r *rand.Rand, rl *sync.RWMutex, count bool) []topk.Neighbor {
+// traverse runs the restart loop over pooled scratch, leaving the result
+// set in s.results. The mark-then-evaluate order is exactly the one the
+// per-query-allocating version used, so answers are unchanged.
+func (g *Graph[T]) traverse(s *graphScratch, query T, ef, attempts int) {
 	n := len(g.adj)
-	visited := make([]bool, n)
-	results := topk.NewQueue(ef)
-	var frontier topk.MinQueue
-
-	dist := func(id uint32) float64 {
-		if count {
-			g.buildDist.Add(1)
-		}
-		return g.sp.Distance(g.data[id], query)
-	}
-	neighbors := func(id uint32) []uint32 {
-		if rl == nil {
-			return g.adj[id]
-		}
-		rl.RLock()
-		a := g.adj[id]
-		cp := make([]uint32, len(a))
-		copy(cp, a)
-		rl.RUnlock()
-		return cp
-	}
+	s.visited.Begin(n)
+	s.results.Reset(ef)
+	s.frontier.Reset()
 
 	for a := 0; a < attempts; a++ {
-		entry := uint32(r.Intn(n))
-		if !visited[entry] {
-			visited[entry] = true
-			d := dist(entry)
-			results.Push(entry, d)
-			frontier.Push(entry, d)
+		entry := uint32(s.r.Intn(n))
+		if s.visited.TrySet(entry) {
+			d := g.sp.Distance(g.data[entry], query)
+			s.results.Push(entry, d)
+			s.frontier.Push(entry, d)
 		}
-		for frontier.Len() > 0 {
-			cur := frontier.Pop()
-			if bound, ok := results.Bound(); ok && cur.Dist > bound {
+		for s.frontier.Len() > 0 {
+			cur := s.frontier.Pop()
+			if bound, ok := s.results.Bound(); ok && cur.Dist > bound {
 				break
 			}
-			for _, nb := range neighbors(cur.ID) {
-				if visited[nb] {
+			for _, nb := range g.adj[cur.ID] {
+				if !s.visited.TrySet(nb) {
 					continue
 				}
-				visited[nb] = true
-				d := dist(nb)
-				if results.WouldAccept(d) {
-					results.Push(nb, d)
-					frontier.Push(nb, d)
+				d := g.sp.Distance(g.data[nb], query)
+				if s.results.WouldAccept(d) {
+					s.results.Push(nb, d)
+					s.frontier.Push(nb, d)
 				}
 			}
 		}
-		frontier.Reset()
+		s.frontier.Reset()
 	}
-	return results.Results()
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package knngraph_test
+
+const raceEnabled = false

@@ -1,0 +1,101 @@
+package lsm
+
+import (
+	"testing"
+
+	"repro/internal/seqscan"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// TestTreeSearchAppendZeroAllocs pins the PR 8 headline fix: a warm tiered
+// search over base + sealed tiers + live memtable, with tombstones in play,
+// runs entirely on the tree's pooled search state — cached component
+// searchers, reused merge buffer — so SearchAppend into a caller-supplied
+// buffer is zero allocations per query.
+func TestTreeSearchAppendZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; guard runs in the plain test job")
+	}
+	const baseN, k = 60, 10
+	base := randVecs(1, baseN)
+	baseIdx := seqscan.New[[]float32](space.L2{}, base)
+	tree := mustOpen(t, testOptions(t, baseN))
+
+	// Shape the tree: one sealed tier, a live memtable, and tombstones
+	// spanning base, tier and memtable — the full merge surface.
+	added := randVecs(2, 24)
+	for _, v := range added[:12] {
+		if _, err := tree.Add(encVec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range added[12:] {
+		if _, err := tree.Add(encVec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []uint32{3, baseN + 2, baseN + 15} {
+		if err := tree.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkIdentity(t, tree, base, "pre-measure")
+
+	queries := randVecs(7, 8)
+	dst := make([]topk.Neighbor, 0, k)
+	for _, q := range queries {
+		dst = tree.SearchAppend(dst[:0], baseIdx, q, k)
+	}
+	qi := 0
+	if avg := testing.AllocsPerRun(50, func() {
+		dst = tree.SearchAppend(dst[:0], baseIdx, queries[qi%len(queries)], k)
+		qi++
+	}); avg != 0 {
+		t.Errorf("warm tiered SearchAppend allocates %v times per run, want 0", avg)
+	}
+
+	// The allocating wrapper pays exactly the result slice and nothing
+	// else.
+	if avg := testing.AllocsPerRun(50, func() {
+		_ = tree.Search(baseIdx, queries[qi%len(queries)], k)
+		qi++
+	}); avg > 1 {
+		t.Errorf("warm tiered Search allocates %v times per run, want <= 1", avg)
+	}
+}
+
+// TestTreeSearchAppendSurvivesSeal pins the cache-invalidation half of the
+// fix: a pooled search state warmed before a seal must re-mint its
+// component searchers afterwards, not search a stale tier list.
+func TestTreeSearchAppendSurvivesSeal(t *testing.T) {
+	const baseN, k = 40, 8
+	base := randVecs(3, baseN)
+	baseIdx := seqscan.New[[]float32](space.L2{}, base)
+	tree := mustOpen(t, testOptions(t, baseN))
+
+	queries := randVecs(8, 6)
+	var dst []topk.Neighbor
+	for _, q := range queries {
+		dst = tree.SearchAppend(dst[:0], baseIdx, q, k)
+	}
+
+	added := randVecs(4, 20)
+	for i, v := range added {
+		if _, err := tree.Add(encVec(v)); err != nil {
+			t.Fatal(err)
+		}
+		if i == 9 {
+			if _, err := tree.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := tree.Delete(baseN + 1); err != nil {
+		t.Fatal(err)
+	}
+	checkIdentity(t, tree, base, "post-seal")
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/index"
 	"repro/internal/persist"
+	"repro/internal/scratch"
 	"repro/internal/seqscan"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -183,6 +184,49 @@ type Tree[T any] struct {
 	compacting bool
 	compactErr error
 	wg         sync.WaitGroup
+
+	// searchEpoch versions the search-visible component set (sealed tier
+	// list and memtable identity). Bumped under the write lock at every
+	// structural change; pooled search states compare it under the read
+	// lock and re-mint their per-component searchers only when it moved,
+	// like NAPP's mutation-sequence re-snapshot.
+	searchEpoch uint64
+	searchPool  scratch.Pool[searchState[T]]
+}
+
+// searchState is the pooled per-query state of one tiered search: cached
+// per-component zero-alloc searchers plus the merge buffer. The cached
+// searchers are valid for the epoch they were minted under; base searchers
+// are re-minted whenever the caller passes a different base index (compared
+// by interface identity, so base indexes must be pointer-shaped — every
+// index in this repository is).
+type searchState[T any] struct {
+	epoch uint64
+	base  index.Index[T]
+	baseS index.Searcher[T]
+	tierS []index.Searcher[T] // parallel to Tree.tiers; nil for index-less tiers
+	memS  index.Searcher[T]
+	buf   []topk.Neighbor
+}
+
+// mintSearcher returns a per-worker searcher for idx: its own when the
+// index provides one, otherwise a wrapper over the allocating Search (the
+// merge loop stays uniform; only that component's allocations remain).
+func mintSearcher[T any](idx index.Index[T]) index.Searcher[T] {
+	if sp, ok := idx.(index.SearcherProvider[T]); ok {
+		return sp.NewSearcher()
+	}
+	return fallbackSearcher[T]{idx}
+}
+
+type fallbackSearcher[T any] struct{ idx index.Index[T] }
+
+func (f fallbackSearcher[T]) Search(query T, k int) []topk.Neighbor {
+	return f.idx.Search(query, k)
+}
+
+func (f fallbackSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	return append(dst, f.idx.Search(query, k)...)
 }
 
 // Open loads (or initializes) a tree in opts.Dir: manifest, sealed tiers,
@@ -538,6 +582,7 @@ func (t *Tree[T]) sealLocked() (*TierStatus, error) {
 		return nil, err
 	}
 	t.tiers = append(t.tiers, tr)
+	t.searchEpoch++
 	if err := t.rotateWalLocked(newWalSeq); err != nil {
 		return nil, err
 	}
@@ -592,6 +637,7 @@ func (t *Tree[T]) rotateWalLocked(newWalSeq uint64) error {
 	}
 	t.mem = &memtable[T]{dyn: dyn}
 	t.segTombs = nil
+	t.searchEpoch++
 	return nil
 }
 
@@ -708,6 +754,7 @@ func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint6
 		return
 	}
 	t.tiers = newTiers
+	t.searchEpoch++
 	// Rebuild the mask: tombstones of the surviving tiers plus the current
 	// segment's pending deletes. Entries whose targets were just dropped
 	// vanish here, so the k-inflation the mask drives stays proportional
@@ -750,28 +797,39 @@ func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint6
 // merged result is exactly what a flat index over the live set would
 // return when every component searches exactly.
 func (t *Tree[T]) Search(base index.Index[T], query T, k int) []topk.Neighbor {
+	return t.SearchAppend(nil, base, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst: the
+// whole merge — per-component searches, id translation, tombstone masking,
+// top-k selection — runs on a pooled search state, so a warm call with a
+// dst of sufficient capacity performs zero allocations.
+func (t *Tree[T]) SearchAppend(dst []topk.Neighbor, base index.Index[T], query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
+	st := t.searchPool.Get()
+	defer t.searchPool.Put(st)
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	t.refreshLocked(st, base)
 	kq := k + len(t.deleted)
-	var buf []topk.Neighbor
-	if base != nil {
-		buf = base.Search(query, kq)
+	buf := st.buf[:0]
+	if st.baseS != nil {
+		buf = st.baseS.SearchAppend(buf, query, kq)
 	}
-	for _, tr := range t.tiers {
+	for ti, tr := range t.tiers {
 		if tr.idx == nil {
 			continue
 		}
 		start := len(buf)
-		buf = append(buf, tr.idx.Search(query, kq)...)
+		buf = st.tierS[ti].SearchAppend(buf, query, kq)
 		for i := start; i < len(buf); i++ {
 			buf[i].ID = tr.ids[buf[i].ID]
 		}
 	}
 	start := len(buf)
-	buf = append(buf, t.mem.dyn.Search(query, kq)...)
+	buf = st.memS.SearchAppend(buf, query, kq)
 	for i := start; i < len(buf); i++ {
 		buf[i].ID = t.mem.ids[buf[i].ID]
 	}
@@ -784,7 +842,36 @@ func (t *Tree[T]) Search(base index.Index[T], query T, k int) []topk.Neighbor {
 		}
 		buf = kept
 	}
-	return topk.SelectK(buf, k)
+	top := topk.SelectK(buf, k)
+	// Copy the answer out: buf is pooled and must never escape to the
+	// caller. Keep the (possibly regrown) buffer for the next query.
+	dst = append(dst, top...)
+	st.buf = buf[:0]
+	return dst
+}
+
+// refreshLocked brings a pooled search state up to date with the tree's
+// current component set: searchers are re-minted only when the structural
+// epoch moved (seal or compaction) or the caller's base index changed.
+func (t *Tree[T]) refreshLocked(st *searchState[T], base index.Index[T]) {
+	if st.epoch != t.searchEpoch || st.memS == nil {
+		st.tierS = st.tierS[:0]
+		for _, tr := range t.tiers {
+			var s index.Searcher[T]
+			if tr.idx != nil {
+				s = mintSearcher(tr.idx)
+			}
+			st.tierS = append(st.tierS, s)
+		}
+		st.memS = mintSearcher[T](t.mem.dyn)
+		st.epoch = t.searchEpoch
+	}
+	if base == nil {
+		st.base, st.baseS = nil, nil
+	} else if st.base != base || st.baseS == nil {
+		st.base = base
+		st.baseS = mintSearcher(base)
+	}
 }
 
 // TierStatus summarizes one sealed tier for /statusz.

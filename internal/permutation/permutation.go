@@ -22,6 +22,7 @@ import (
 	"slices"
 
 	"repro/internal/space"
+	"repro/internal/vecmath"
 )
 
 // Pivots holds the m reference points of a permutation index together with
@@ -218,17 +219,14 @@ func IsPermutation(v []int32) bool {
 // SpearmanRho returns Spearman's rho distance between two permutations:
 // the sum of squared rank differences (the squared L2 distance). Per §2.1
 // this is the most effective permutation distance and the default in all
-// permutation indexes here.
+// permutation indexes here. The integer arithmetic happens in the
+// width-dispatched vecmath kernel; results are exact, so every caller —
+// including persisted indexes and recall goldens — sees identical values.
 func SpearmanRho(a, b []int32) float64 {
 	if len(a) != len(b) {
 		panic("permutation: length mismatch")
 	}
-	var s int64
-	for i := range a {
-		d := int64(a[i]) - int64(b[i])
-		s += d * d
-	}
-	return float64(s)
+	return float64(vecmath.SpearmanRho(a, b))
 }
 
 // Footrule returns the Footrule distance between two permutations: the sum
@@ -237,15 +235,7 @@ func Footrule(a, b []int32) float64 {
 	if len(a) != len(b) {
 		panic("permutation: length mismatch")
 	}
-	var s int64
-	for i := range a {
-		d := int64(a[i]) - int64(b[i])
-		if d < 0 {
-			d = -d
-		}
-		s += d
-	}
-	return float64(s)
+	return float64(vecmath.Footrule(a, b))
 }
 
 // RhoSpace exposes Spearman's rho as a space.Space over permutation vectors,

@@ -42,6 +42,8 @@ func Save[T any](w io.Writer, idx index.Index[T]) error {
 		return v.Save(w)
 	case *core.BinFilter[T]:
 		return v.Save(w)
+	case *core.QuantFilter[T]:
+		return v.Save(w)
 	case *core.DistVecFilter[T]:
 		return v.Save(w)
 	case *core.PPIndex[T]:
@@ -84,6 +86,8 @@ func Load[T any](r io.Reader, sp space.Space[T], data []T) (index.Index[T], erro
 		return core.LoadBruteForceFilter(cr, sp, data)
 	case codec.KindBinFilter:
 		return core.LoadBinFilter(cr, sp, data)
+	case codec.KindQuantFilter:
+		return core.LoadQuantFilter(cr, sp, data)
 	case codec.KindDistVec:
 		return core.LoadDistVecFilter(cr, sp, data)
 	case codec.KindPPIndex:

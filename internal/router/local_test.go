@@ -67,6 +67,11 @@ func fullRecallKinds[T any](sp space.Space[T]) []kindBuilder[T] {
 		{"brute-force-filt-bin", func(data []T) (index.Index[T], error) {
 			return core.NewBinFilter(sp, data, core.BinFilterOptions{NumPivots: 32, Gamma: 1, Seed: seed})
 		}},
+		{"brute-force-filt-quant", func(data []T) (index.Index[T], error) {
+			// Gamma=1 refines every point: the quantized prefix reorders
+			// candidate evaluation but cannot change the returned answers.
+			return core.NewQuantFilter(sp, data, core.QuantFilterOptions{NumPivots: 32, PrefixLen: 16, Gamma: 1, Seed: seed})
+		}},
 		{"distvec-filt", func(data []T) (index.Index[T], error) {
 			return core.NewDistVecFilter(sp, data, core.BruteForceOptions{NumPivots: 16, Gamma: 1, Seed: seed})
 		}},

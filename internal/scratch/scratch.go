@@ -159,6 +159,54 @@ func (g *Gains) Epoch() uint32 { return g.epoch }
 // SetEpoch forces the epoch counter, for wrap-around tests only.
 func (g *Gains) SetEpoch(e uint32) { g.epoch = e }
 
+// Marks is the epoch-stamped arena for plain visited sets — the graph
+// methods' per-query visited []bool, reset in O(1) instead of a per-query
+// make or memset. A cell is "marked" when its stamp equals the current
+// epoch.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type Marks struct {
+	stamp []uint32
+	epoch uint32
+}
+
+// Begin readies the arena for a new query over ids in [0, n), logically
+// unmarking every id in O(1). The stamp array is cleared eagerly only when
+// the 32-bit epoch wraps.
+func (m *Marks) Begin(n int) {
+	if cap(m.stamp) < n {
+		m.stamp = make([]uint32, n)
+	}
+	m.stamp = m.stamp[:n]
+	m.epoch++
+	if m.epoch == 0 {
+		// Full capacity for the same reason as Counters.Begin: stale
+		// stamps beyond a temporarily smaller n must not survive the
+		// wrap.
+		clear(m.stamp[:cap(m.stamp)])
+		m.epoch = 1
+	}
+}
+
+// TrySet marks id and reports whether it was unmarked before — the
+// test-and-set a graph traversal runs per neighbor.
+func (m *Marks) TrySet(id uint32) bool {
+	if m.stamp[id] == m.epoch {
+		return false
+	}
+	m.stamp[id] = m.epoch
+	return true
+}
+
+// Has reports whether id is marked in the current query.
+func (m *Marks) Has(id uint32) bool { return m.stamp[id] == m.epoch }
+
+// Epoch exposes the current epoch for wrap-around tests.
+func (m *Marks) Epoch() uint32 { return m.epoch }
+
+// SetEpoch forces the epoch counter, for wrap-around tests only.
+func (m *Marks) SetEpoch(e uint32) { m.epoch = e }
+
 // Pool is a typed free list of per-query scratch states, one Pool per index
 // instance. Get returns a state exclusively to the caller; Put recycles it.
 // States are stored by pointer and returned whole, so buffer capacity grown

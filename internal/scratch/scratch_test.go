@@ -190,3 +190,67 @@ func TestGrow(t *testing.T) {
 		t.Fatalf("len = %d, want 20", len(b3))
 	}
 }
+
+func TestMarks_BasicLifecycle(t *testing.T) {
+	var m Marks
+	m.Begin(4)
+	if m.Has(2) {
+		t.Fatal("fresh arena reports id marked")
+	}
+	if !m.TrySet(2) {
+		t.Fatal("first TrySet(2) = false, want true")
+	}
+	if m.TrySet(2) {
+		t.Fatal("second TrySet(2) = true, want false")
+	}
+	if !m.Has(2) || m.Has(3) {
+		t.Fatalf("Has after TrySet: Has(2)=%v Has(3)=%v", m.Has(2), m.Has(3))
+	}
+	m.Begin(4)
+	if m.Has(2) {
+		t.Fatal("mark survived Begin")
+	}
+	if !m.TrySet(2) {
+		t.Fatal("TrySet on new epoch = false, want true")
+	}
+}
+
+// TestMarks_EpochWrap forces the 32-bit epoch to wrap and checks stale
+// marks cannot resurface.
+func TestMarks_EpochWrap(t *testing.T) {
+	var m Marks
+	m.SetEpoch(^uint32(0) - 1)
+	for q := 0; q < 4; q++ {
+		m.Begin(8)
+		for id := uint32(0); id < 8; id++ {
+			if m.Has(id) {
+				t.Fatalf("query %d (epoch %d): id %d marked at query start", q, m.Epoch(), id)
+			}
+			if !m.TrySet(id) {
+				t.Fatalf("query %d: TrySet(%d) = false on fresh epoch", q, id)
+			}
+		}
+	}
+	if m.Epoch() >= ^uint32(0)-1 {
+		t.Fatalf("epoch %d did not wrap", m.Epoch())
+	}
+}
+
+// TestMarks_EpochWrapClearsFullCapacity mirrors the Counters test: a wrap
+// while serving a smaller n must clear stamps beyond that window too.
+func TestMarks_EpochWrapClearsFullCapacity(t *testing.T) {
+	var m Marks
+	m.SetEpoch(^uint32(0) - 1)
+	m.Begin(16) // epoch = max: stamp cells beyond the next window
+	for id := uint32(0); id < 16; id++ {
+		m.TrySet(id)
+	}
+	m.Begin(4) // wraps; only ids [0, 4) are in the window
+	m.SetEpoch(^uint32(0) - 1)
+	m.Begin(16)
+	for id := uint32(0); id < 16; id++ {
+		if m.Has(id) {
+			t.Fatalf("Has(%d) = true after wrap at smaller n, want false", id)
+		}
+	}
+}

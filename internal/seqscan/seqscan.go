@@ -7,6 +7,8 @@ package seqscan
 
 import (
 	"repro/internal/engine"
+	"repro/internal/index"
+	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -18,6 +20,13 @@ type Scanner[T any] struct {
 	sp      space.Space[T]
 	data    []T
 	deleted map[uint32]struct{} // nil until the first Delete
+	scratch scratch.Pool[scanScratch]
+}
+
+// scanScratch is the per-query state of one scan: just the result queue,
+// reused so a warm query allocates nothing.
+type scanScratch struct {
+	queue topk.Queue
 }
 
 // New creates a scanner over data. The slice is retained, not copied; the
@@ -36,19 +45,48 @@ func (s *Scanner[T]) Len() int { return len(s.data) }
 // increasing distance. Data points are passed as the left argument of the
 // distance (the paper's left-query convention).
 func (s *Scanner[T]) Search(query T, k int) []topk.Neighbor {
+	return s.SearchAppend(nil, query, k)
+}
+
+// SearchAppend answers like Search but appends the results to dst; with a
+// dst of sufficient capacity a warm call performs zero allocations.
+func (s *Scanner[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	st := s.scratch.Get()
+	defer s.scratch.Put(st)
+	return s.search(st, dst, query, k)
+}
+
+// NewSearcher implements index.SearcherProvider. The searcher reads the
+// scanner's live data and tombstones on every call, so it stays correct
+// across Add/Delete — no mutation-sequence re-snapshot is needed.
+func (s *Scanner[T]) NewSearcher() index.Searcher[T] { return scanSearcher[T]{s} }
+
+var _ index.SearcherProvider[[]float32] = (*Scanner[[]float32])(nil)
+
+type scanSearcher[T any] struct{ s *Scanner[T] }
+
+func (w scanSearcher[T]) Search(query T, k int) []topk.Neighbor { return w.s.Search(query, k) }
+
+func (w scanSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	return w.s.SearchAppend(dst, query, k)
+}
+
+// search is the scratch-threaded hot path shared by Search, SearchAppend
+// and Searchers.
+func (s *Scanner[T]) search(st *scanScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
-		return nil
+		return dst
 	}
-	q := topk.NewQueue(k)
+	st.queue.Reset(k)
 	for i, x := range s.data {
 		if s.deleted != nil {
 			if _, dead := s.deleted[uint32(i)]; dead {
 				continue
 			}
 		}
-		q.Push(uint32(i), s.sp.Distance(x, query))
+		st.queue.Push(uint32(i), s.sp.Distance(x, query))
 	}
-	return q.Results()
+	return st.queue.AppendResults(dst)
 }
 
 // SearchAll computes exact k-NN answers for a batch of queries using all

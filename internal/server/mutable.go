@@ -68,6 +68,19 @@ func (ti treeIndex[T]) Search(q T, k int) []topk.Neighbor {
 	return ti.tree.Search(ti.base, q, k)
 }
 
+// SearchAppend routes through the tree's pooled zero-alloc tiered path, so
+// the serving hot loop inherits the same warm 0 allocs/op the tree pins.
+func (ti treeIndex[T]) SearchAppend(dst []topk.Neighbor, q T, k int) []topk.Neighbor {
+	return ti.tree.SearchAppend(dst, ti.base, q, k)
+}
+
+// NewSearcher implements index.SearcherProvider. Per-searcher state lives in
+// the tree's own epoch-keyed pool, so the wrapper is stateless and answers
+// identically to Search by construction.
+func (ti treeIndex[T]) NewSearcher() index.Searcher[T] { return ti }
+
+var _ index.SearcherProvider[[]float32] = treeIndex[[]float32]{}
+
 func (ti treeIndex[T]) Name() string { return ti.base.Name() + "+lsm" }
 
 // openTree opens (or reuses, across reloads) the entry's tree for a mutable

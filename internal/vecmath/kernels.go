@@ -1,0 +1,254 @@
+package vecmath
+
+// Saturated integer kernels for the permutation filtering stage and the
+// 4-bit quantized signature scan. The paper's C++ implementation leans on
+// SSE for these inner loops; the Go equivalents here are hand-unrolled
+// (rank kernels) or SWAR over 64-bit words via math/bits-style bit tricks
+// (nibble kernels), which is as close to "use the whole register" as the
+// gc toolchain allows without assembly.
+//
+// Dispatch policy: each public kernel switches between a simple scalar loop
+// and its unrolled twin on a width threshold. The thresholds are constants
+// chosen from BenchmarkRankKernels / BenchmarkNibbleL1 (kernels_bench_test.go)
+// on amd64: below them the unrolled prologue/epilogue costs more than it
+// saves. Every kernel is byte-identical to its *Ref reference scalar —
+// integer arithmetic is exact and reordering-safe, and the float32 L2 path
+// keeps a single accumulator so its operation order matches the reference —
+// which kernels_test.go pins across widths 0..129 (all tail-lane cases).
+
+// Dispatch thresholds, measured per width with BenchmarkRankKernels (amd64,
+// widths 4..256): the gc compiler already emits branch-free scalar code for
+// both rank kernels, so the 4-way accumulator split only pays once the loop
+// is long enough for instruction-level parallelism to beat the extra
+// register pressure. For rho (sub+mul+add per lane) that crossover is at
+// width 128 (~6% there, ~15% at 256); for footrule (sub+cmov+add per lane)
+// the scalar loop wins at every tested width and unroll shape (1/2/4
+// accumulators, int32 and int64 lanes), so its unrolled twin is disabled —
+// kept, byte-identity-tested, for re-tuning on other targets.
+const (
+	rhoUnrollMin      = 128
+	footruleUnrollMin = 1 << 30 // scalar wins everywhere measured
+)
+
+// SpearmanRho returns the sum of squared element differences between two
+// equal-length int32 rank vectors — Spearman's rho in the paper's §2.1,
+// exact in int64. It panics if the lengths differ.
+func SpearmanRho(a, b []int32) int64 {
+	if len(a) != len(b) {
+		panic("vecmath: length mismatch")
+	}
+	if len(a) < rhoUnrollMin {
+		return SpearmanRhoRef(a, b)
+	}
+	var s0, s1, s2, s3 int64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := int64(a[i]) - int64(b[i])
+		d1 := int64(a[i+1]) - int64(b[i+1])
+		d2 := int64(a[i+2]) - int64(b[i+2])
+		d3 := int64(a[i+3]) - int64(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := int64(a[i]) - int64(b[i])
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// SpearmanRhoRef is the reference scalar implementation of SpearmanRho,
+// the byte-identity baseline of the differential kernel tests. Both slices
+// must have the same length.
+func SpearmanRhoRef(a, b []int32) int64 {
+	var s int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// Footrule returns the sum of absolute element differences between two
+// equal-length int32 rank vectors — the Footrule distance, exact in int64.
+// The per-lane absolute value compiles to a conditional move, so the loop
+// has no data-dependent branches. It panics if the lengths differ.
+func Footrule(a, b []int32) int64 {
+	if len(a) != len(b) {
+		panic("vecmath: length mismatch")
+	}
+	if len(a) < footruleUnrollMin {
+		return FootruleRef(a, b)
+	}
+	var s0, s1, s2, s3 int64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := int64(a[i]) - int64(b[i])
+		d1 := int64(a[i+1]) - int64(b[i+1])
+		d2 := int64(a[i+2]) - int64(b[i+2])
+		d3 := int64(a[i+3]) - int64(b[i+3])
+		if d0 < 0 {
+			d0 = -d0
+		}
+		if d1 < 0 {
+			d1 = -d1
+		}
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d3 < 0 {
+			d3 = -d3
+		}
+		s0 += d0
+		s1 += d1
+		s2 += d2
+		s3 += d3
+	}
+	for ; i < len(a); i++ {
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s0 += d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// FootruleRef is the reference scalar implementation of Footrule.
+// Both slices must have the same length.
+func FootruleRef(a, b []int32) int64 {
+	var s int64
+	for i := range a {
+		d := int64(a[i]) - int64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+// SWAR lane constants for the nibble kernels: each 64-bit word holds 16
+// 4-bit lanes, split for the absolute-difference step into the even and odd
+// nibble byte planes.
+const (
+	nibbleLo = 0x0F0F0F0F0F0F0F0F // low nibble of every byte
+	byteLo   = 0x0101010101010101 // low bit of every byte
+	byteHi   = 0x8080808080808080 // high bit of every byte
+)
+
+// NibbleL1Word returns the L1 distance between the 16 4-bit lanes of x and
+// y: sum over lanes of |x_i - y_i|. It is the word kernel of the quantized
+// permutation-prefix scan and is written as a small branch-free leaf so the
+// compiler inlines it into flat scan loops.
+//
+// Technique: the word is split into its even- and odd-nibble byte planes
+// (values 0..15 in byte lanes). Per plane, forcing the high bit of every x
+// byte makes the lane-wise subtraction borrow-free, the surviving high bit
+// is the x>=y lane mask, and a mask-select combines the two subtraction
+// directions into |x-y|. The horizontal byte sum is one multiply by the
+// byte ladder: per-word lane sums reach at most 16*15 = 240 < 256, so the
+// top byte of the product is exact.
+func NibbleL1Word(x, y uint64) int {
+	xe, ye := x&nibbleLo, y&nibbleLo
+	xo, yo := (x>>4)&nibbleLo, (y>>4)&nibbleLo
+	te := (xe | byteHi) - ye
+	to := (xo | byteHi) - yo
+	me := ((te & byteHi) >> 7) * 0xFF // 0xFF in lanes where xe >= ye
+	mo := ((to & byteHi) >> 7) * 0xFF
+	ae := ((te &^ byteHi) & me) | (((ye|byteHi)-xe)&^byteHi)&^me
+	ao := ((to &^ byteHi) & mo) | (((yo|byteHi)-xo)&^byteHi)&^mo
+	return int(((ae + ao) * byteLo) >> 56)
+}
+
+// NibbleL1 returns the L1 distance between two equal-length nibble-packed
+// words slices (16 4-bit lanes per word): the Footrule distance between two
+// quantized permutation prefixes. Unused tail lanes must hold equal values
+// on both sides (the packers zero them). It panics if the lengths differ.
+func NibbleL1(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("vecmath: length mismatch")
+	}
+	var s int
+	for i := range a {
+		s += NibbleL1Word(a[i], b[i])
+	}
+	return s
+}
+
+// NibbleL1Ref is the reference scalar implementation of NibbleL1: it
+// unpacks every 4-bit lane and accumulates plain integer absolute
+// differences. Both slices must have the same length.
+func NibbleL1Ref(a, b []uint64) int {
+	var s int
+	for i := range a {
+		for sh := 0; sh < 64; sh += 4 {
+			x := int(a[i]>>sh) & 0xF
+			y := int(b[i]>>sh) & 0xF
+			if x >= y {
+				s += x - y
+			} else {
+				s += y - x
+			}
+		}
+	}
+	return s
+}
+
+// l2F32UnrollMin is the vector width from which the unrolled float32 L2
+// kernel beats its scalar loop.
+const l2F32UnrollMin = 8
+
+// L2SqrF32 returns the squared Euclidean distance between a and b with the
+// element difference computed in float32 — one rounding per element instead
+// of the two float64 conversions L2Sqr pays — and the squares accumulated
+// exactly in float64 (a 24-bit product is exact in a 53-bit mantissa).
+//
+// Precision: relative to L2Sqr, each term carries at most one extra float32
+// rounding of the difference (relative error <= 2^-24 per element), so the
+// total relative error is bounded by ~n*2^-23 — negligible for descriptor
+// data but not bit-identical to L2Sqr. It is therefore an opt-in fast path
+// (space.L2F32): the default space.L2 keeps L2Sqr so persisted indexes,
+// recall goldens and sharded-identity properties stay byte-stable.
+//
+// The kernel keeps a single accumulator so its operation order — and hence
+// its rounding — is byte-identical to L2SqrF32Ref at every width.
+// It panics if the slices have different lengths.
+func L2SqrF32(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("vecmath: length mismatch")
+	}
+	if len(a) < l2F32UnrollMin {
+		return L2SqrF32Ref(a, b)
+	}
+	var s float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s += float64(d0) * float64(d0)
+		s += float64(d1) * float64(d1)
+		s += float64(d2) * float64(d2)
+		s += float64(d3) * float64(d3)
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += float64(d) * float64(d)
+	}
+	return s
+}
+
+// L2SqrF32Ref is the reference scalar implementation of L2SqrF32.
+// Both slices must have the same length.
+func L2SqrF32Ref(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += float64(d) * float64(d)
+	}
+	return s
+}

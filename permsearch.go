@@ -214,6 +214,8 @@ type (
 	BruteForceOptions = core.BruteForceOptions
 	// BinFilterOptions configures binarized permutation filtering.
 	BinFilterOptions = core.BinFilterOptions
+	// QuantFilterOptions configures 4-bit quantized-prefix filtering.
+	QuantFilterOptions = core.QuantFilterOptions
 	// PPIndexOptions configures the Permutation Prefix Index.
 	PPIndexOptions = core.PPIndexOptions
 	// MIFileOptions configures the Metric Inverted File.
@@ -240,6 +242,12 @@ func NewBruteForceFilter[T any](sp Space[T], data []T, opts BruteForceOptions) (
 // NewBinFilter builds the binarized (bit-packed, Hamming) filter.
 func NewBinFilter[T any](sp Space[T], data []T, opts BinFilterOptions) (*core.BinFilter[T], error) {
 	return core.NewBinFilter(sp, data, opts)
+}
+
+// NewQuantFilter builds the 4-bit quantized permutation-prefix filter:
+// nibble-packed rank signatures scanned with a SWAR Footrule kernel.
+func NewQuantFilter[T any](sp Space[T], data []T, opts QuantFilterOptions) (*core.QuantFilter[T], error) {
+	return core.NewQuantFilter(sp, data, opts)
 }
 
 // NewPPIndex builds Esuli's Permutation Prefix Index.

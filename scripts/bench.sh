@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_PR5.json}}"
+out="${1:-${BENCH_OUT:-BENCH_PR8.json}}"
 benchtime="${2:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -58,7 +58,19 @@ awk -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '
 
 # Schema gate: the emitted document must parse against permsearch-bench/v1
 # (scripts/benchcheck), so an emitter/benchmark drift fails here, not in a
-# later reader.
-go run ./scripts/benchcheck "$out"
+# later reader. When a previous committed trajectory point exists, also run
+# trajectory mode against it: a method that silently disappeared is always
+# fatal; a >25% ns/op regression is fatal when both points were measured on
+# the same machine identity, a warning otherwise.
+prev=""
+for f in $(git ls-files 'BENCH_PR*.json' | sort -V); do
+  [ "$f" = "$(basename "$out")" ] && continue
+  prev="$f"
+done
+if [ -n "$prev" ]; then
+  go run ./scripts/benchcheck -prev "$prev" "$out"
+else
+  go run ./scripts/benchcheck "$out"
+fi
 
 echo "bench.sh: wrote $out ($(grep -c '"method"' "$out") methods)"

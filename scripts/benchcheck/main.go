@@ -5,12 +5,22 @@
 // schema (or a benchmark rename that silently empties the results) fails
 // the bench run instead of committing an unreadable trajectory point.
 //
-// Usage: go run ./scripts/benchcheck BENCH_X.json [...]
+// With -prev it additionally runs in trajectory mode, comparing the new
+// point against the previous committed one: a method present in the
+// previous file but absent from the new one is always fatal (a silently
+// dropped benchmark row is how perf coverage rots), and a ns/op regression
+// beyond -max-regress (default 25%) is fatal when the two files were
+// measured on the same machine identity (cpu/go/goos/goarch) and a warning
+// otherwise — cross-machine latency deltas are noise, missing methods are
+// not.
+//
+// Usage: go run ./scripts/benchcheck [-prev PREV.json] BENCH_X.json [...]
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 )
@@ -37,61 +47,121 @@ type row struct {
 	QPS         *float64 `json:"qps"`
 }
 
-func check(path string) error {
+func load(path string) (*doc, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dec := json.NewDecoder(bytes.NewReader(blob))
 	dec.DisallowUnknownFields()
 	var d doc
 	if err := dec.Decode(&d); err != nil {
-		return fmt.Errorf("%s: %v", path, err)
+		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 	if d.Schema != Schema {
-		return fmt.Errorf("%s: schema %q, want %q", path, d.Schema, Schema)
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, d.Schema, Schema)
 	}
 	for field, v := range map[string]string{
 		"bench": d.Bench, "timestamp": d.Timestamp, "go": d.Go, "goos": d.GOOS, "goarch": d.GOARCH,
 	} {
 		if v == "" {
-			return fmt.Errorf("%s: missing %q", path, field)
+			return nil, fmt.Errorf("%s: missing %q", path, field)
 		}
 	}
 	if len(d.Results) == 0 {
-		return fmt.Errorf("%s: no results (did the benchmark filter stop matching?)", path)
+		return nil, fmt.Errorf("%s: no results (did the benchmark filter stop matching?)", path)
 	}
 	for i, r := range d.Results {
 		if r.Method == "" {
-			return fmt.Errorf("%s: results[%d]: missing method", path, i)
+			return nil, fmt.Errorf("%s: results[%d]: missing method", path, i)
 		}
 		for name, v := range map[string]*float64{
 			"ns_per_op": r.NsPerOp, "bytes_per_op": r.BytesPerOp, "allocs_per_op": r.AllocsPerOp, "qps": r.QPS,
 		} {
 			if v == nil {
-				return fmt.Errorf("%s: results[%d] (%s): missing %s", path, i, r.Method, name)
+				return nil, fmt.Errorf("%s: results[%d] (%s): missing %s", path, i, r.Method, name)
 			}
 			if *v < 0 {
-				return fmt.Errorf("%s: results[%d] (%s): %s = %v is negative", path, i, r.Method, name, *v)
+				return nil, fmt.Errorf("%s: results[%d] (%s): %s = %v is negative", path, i, r.Method, name, *v)
 			}
 		}
 		// A zero latency means the row did not really run.
 		if *r.NsPerOp == 0 || *r.QPS == 0 {
-			return fmt.Errorf("%s: results[%d] (%s): zero ns_per_op/qps", path, i, r.Method)
+			return nil, fmt.Errorf("%s: results[%d] (%s): zero ns_per_op/qps", path, i, r.Method)
 		}
 	}
-	return nil
+	return &d, nil
+}
+
+// sameIdentity reports whether two points were measured in the same
+// environment, making their latencies comparable.
+func sameIdentity(a, b *doc) bool {
+	return a.CPU == b.CPU && a.Go == b.Go && a.GOOS == b.GOOS && a.GOARCH == b.GOARCH
+}
+
+// compare runs trajectory mode: cur against prev. Missing methods are
+// fatal; regressions beyond maxRegress are fatal on matching identity,
+// warnings otherwise. Returns the number of fatal findings.
+func compare(prevPath string, prev, cur *doc, maxRegress float64) int {
+	curBy := make(map[string]row, len(cur.Results))
+	for _, r := range cur.Results {
+		curBy[r.Method] = r
+	}
+	comparable := sameIdentity(prev, cur)
+	fatal := 0
+	for _, p := range prev.Results {
+		c, ok := curBy[p.Method]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: method %q present in %s is missing from the new point\n", p.Method, prevPath)
+			fatal++
+			continue
+		}
+		ratio := (*c.NsPerOp - *p.NsPerOp) / *p.NsPerOp
+		if ratio <= maxRegress {
+			continue
+		}
+		msg := fmt.Sprintf("method %q regressed: %.0f -> %.0f ns/op (%+.0f%%, limit %+.0f%%)",
+			p.Method, *p.NsPerOp, *c.NsPerOp, 100*ratio, 100*maxRegress)
+		if comparable {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s\n", msg)
+			fatal++
+		} else {
+			fmt.Fprintf(os.Stderr, "benchcheck: warning: %s (measured on different machines — not gating)\n", msg)
+		}
+	}
+	return fatal
 }
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcheck BENCH_X.json [...]")
+	prevPath := flag.String("prev", "", "previous trajectory point to compare against (missing methods fatal; ns/op regressions gate on matching machine identity)")
+	maxRegress := flag.Float64("max-regress", 0.25, "fractional ns/op increase tolerated in -prev mode before failing")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-prev PREV.json] BENCH_X.json [...]")
 		os.Exit(2)
 	}
-	for _, path := range os.Args[1:] {
-		if err := check(path); err != nil {
+	var prev *doc
+	if *prevPath != "" {
+		d, err := load(*prevPath)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(1)
+		}
+		prev = d
+	}
+	for _, path := range flag.Args() {
+		d, err := load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(1)
+		}
+		if prev != nil {
+			if fatal := compare(*prevPath, prev, d, *maxRegress); fatal > 0 {
+				fmt.Fprintf(os.Stderr, "benchcheck: %s: %d trajectory failure(s) against %s\n", path, fatal, *prevPath)
+				os.Exit(1)
+			}
+			fmt.Printf("benchcheck: %s ok against %s\n", path, *prevPath)
+			continue
 		}
 		fmt.Printf("benchcheck: %s ok\n", path)
 	}
