@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: build test race bench bench-engine bench-smoke vet fmt staticcheck govulncheck check fuzz serve-smoke shard-smoke rollout-smoke ingest-smoke ci
+.PHONY: build test race bench bench-engine bench-smoke vet fmt staticcheck govulncheck check fuzz serve-smoke shard-smoke rollout-smoke ingest-smoke fault-smoke ci
 
 build:
 	$(GO) build ./...
@@ -123,4 +123,13 @@ ingest-smoke:
 	$(GO) build -o bin/permserve ./cmd/permserve
 	./scripts/ingest_smoke.sh bin/permserve
 
-ci: check build test race fuzz serve-smoke shard-smoke rollout-smoke ingest-smoke bench-smoke
+# End-to-end smoke of the fail-stop storage story: boot permserve with
+# disk-fault injection armed (PERMSERVE_FAULT_FS), drive writes into a WAL
+# fsync failure (503 poisoned) and an ENOSPC seal (507 read-only), assert
+# /healthz surfaces the degraded index while searches keep serving, then
+# restart clean and require zero acknowledged-write loss.
+fault-smoke:
+	$(GO) build -o bin/permserve ./cmd/permserve
+	./scripts/fault_smoke.sh bin/permserve
+
+ci: check build test race fuzz serve-smoke shard-smoke rollout-smoke ingest-smoke fault-smoke bench-smoke

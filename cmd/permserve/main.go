@@ -52,11 +52,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faultfs"
 	"repro/internal/index"
 	"repro/internal/persist"
 	"repro/internal/seqscan"
 	"repro/internal/server"
 	"repro/internal/space"
+	"repro/internal/vfs"
 	"repro/internal/vptree"
 )
 
@@ -104,7 +106,21 @@ func main() {
 		}()
 	}
 
-	reg, err := server.OpenDir(*dir)
+	// PERMSERVE_FAULT_FS routes the mutable tier's storage I/O through a
+	// fault-injecting filesystem (see internal/faultfs.Parse for the rule
+	// spec). A fault drill knob for scripts/fault_smoke.sh — never set it in
+	// production.
+	var storage vfs.FS
+	if spec := os.Getenv("PERMSERVE_FAULT_FS"); spec != "" {
+		ffs, err := faultfs.Parse(spec)
+		if err != nil {
+			log.Fatalf("permserve: PERMSERVE_FAULT_FS: %v", err)
+		}
+		log.Printf("permserve: FAULT INJECTION ARMED (PERMSERVE_FAULT_FS=%s)", spec)
+		storage = ffs
+	}
+
+	reg, err := server.OpenDirFS(*dir, storage)
 	if err != nil {
 		log.Fatalf("permserve: %v", err)
 	}

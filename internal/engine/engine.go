@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -147,12 +148,27 @@ func (p Pool) ForDynamic(n int, f func(i int)) {
 // If f panics, the remaining iterations are cancelled and the panic
 // resurfaces on the caller, as it would in a serial loop.
 func (p Pool) ForWithID(n int, f func(worker, i int)) {
+	p.ForWithIDCtx(context.Background(), n, f)
+}
+
+// ForWithIDCtx is ForWithID with cooperative cancellation: workers check
+// ctx between items and stop pulling once it is done, so a batch whose
+// client has gone away — a server timeout, a closed connection — releases
+// its pool workers after at most one in-flight item each instead of
+// grinding through the remaining iterations. It returns ctx.Err() when the
+// loop was cut short, nil when every iteration ran. Completed iterations
+// are never undone; the caller owns deciding whether partial output is
+// usable (the batch query engine discards it).
+func (p Pool) ForWithIDCtx(ctx context.Context, n int, f func(worker, i int)) error {
 	w := p.clamp(n)
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			f(0, i)
 		}
-		return
+		return nil
 	}
 	var trap panicTrap
 	var next atomic.Int64
@@ -164,7 +180,7 @@ func (p Pool) ForWithID(n int, f func(worker, i int)) {
 			defer trap.guard()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || trap.stop.Load() {
+				if i >= n || trap.stop.Load() || ctx.Err() != nil {
 					return
 				}
 				f(worker, i)
@@ -173,6 +189,7 @@ func (p Pool) ForWithID(n int, f func(worker, i int)) {
 	}
 	wg.Wait()
 	trap.rethrow()
+	return ctx.Err()
 }
 
 // SearchBatch answers a batch of queries against idx on a default
@@ -202,15 +219,31 @@ func SearchBatch[T any](idx index.Index[T], queries []T, k int) [][]topk.Neighbo
 // Searchers are defined to answer exactly like Search, so the serial-loop
 // contract above is unchanged.
 func SearchBatchPool[T any](p Pool, idx index.Index[T], queries []T, k int) [][]topk.Neighbor {
+	out, _ := SearchBatchPoolCtx(context.Background(), p, idx, queries, k)
+	return out
+}
+
+// SearchBatchPoolCtx is SearchBatchPool with cooperative cancellation:
+// workers stop pulling queries once ctx is done and the call returns
+// ctx.Err() with a nil result — a partially-answered batch is never
+// returned, matching the all-or-nothing contract of the serial loop.
+// (Indexes implementing their own index.Batcher run to completion; the
+// batcher interface predates cancellation and its implementations pin
+// cross-query state that cannot stop midway.)
+func SearchBatchPoolCtx[T any](ctx context.Context, p Pool, idx index.Index[T], queries []T, k int) ([][]topk.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if b, ok := idx.(index.Batcher[T]); ok {
-		return b.SearchBatch(queries, k, p.Workers())
+		return b.SearchBatch(queries, k, p.Workers()), nil
 	}
 	out := make([][]topk.Neighbor, len(queries))
+	var err error
 	if sp, ok := idx.(index.SearcherProvider[T]); ok {
 		// Slots are indexed by worker id; each is touched by exactly one
-		// worker goroutine (ForWithID's contract), so no locking.
+		// worker goroutine (ForWithIDCtx's contract), so no locking.
 		searchers := make([]index.Searcher[T], p.clamp(len(queries)))
-		p.ForWithID(len(queries), func(worker, i int) {
+		err = p.ForWithIDCtx(ctx, len(queries), func(worker, i int) {
 			s := searchers[worker]
 			if s == nil {
 				s = sp.NewSearcher()
@@ -218,10 +251,13 @@ func SearchBatchPool[T any](p Pool, idx index.Index[T], queries []T, k int) [][]
 			}
 			out[i] = s.Search(queries[i], k)
 		})
-		return out
+	} else {
+		err = p.ForWithIDCtx(ctx, len(queries), func(_, i int) {
+			out[i] = idx.Search(queries[i], k)
+		})
 	}
-	p.ForDynamic(len(queries), func(i int) {
-		out[i] = idx.Search(queries[i], k)
-	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -1,0 +1,263 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func writeN(t *testing.T, f interface{ Write([]byte) (int, error) }, payload []byte) (int, error) {
+	t.Helper()
+	return f.Write(payload)
+}
+
+// TestNthCallFiring: a Rule{Nth: n} fires on exactly the nth matching call —
+// not before, and (non-sticky) not after.
+func TestNthCallFiring(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	ffs.Inject(Rule{Ops: []Op{OpSync}, Nth: 2, Err: syscall.EIO})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("1st sync should pass, got %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("2nd sync should inject EIO, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("3rd sync should pass again (single-fault model), got %v", err)
+	}
+	if got := ffs.Fired(); got != 1 {
+		t.Fatalf("Fired() = %d, want 1", got)
+	}
+}
+
+// TestStickyRule: with Sticky set the rule keeps firing on every matching
+// call from the Nth on — a fault that does not go away.
+func TestStickyRule(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	ffs.Inject(Rule{Ops: []Op{OpSync}, Nth: 2, Err: syscall.EIO, Sticky: true})
+
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("1st sync should pass, got %v", err)
+	}
+	for i := 2; i <= 5; i++ {
+		if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+			t.Fatalf("sync %d should inject EIO (sticky), got %v", i, err)
+		}
+	}
+}
+
+// TestPathFilter: PathContains restricts both matching and the per-rule call
+// count — calls to other paths neither fire nor advance the ordinal.
+func TestPathFilter(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	ffs.Inject(Rule{Ops: []Op{OpSync}, PathContains: "wal-", Nth: 1, Err: syscall.EIO})
+
+	other, err := ffs.OpenFile(filepath.Join(dir, "tiers.json"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if err := other.Sync(); err != nil {
+		t.Fatalf("sync of a non-matching path fired the rule: %v", err)
+	}
+	wal, err := ffs.OpenFile(filepath.Join(dir, "wal-000001.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if err := wal.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("1st matching sync should inject EIO, got %v", err)
+	}
+}
+
+// TestShortWrite: a Short rule performs half the write and then fails —
+// the bytes must actually land so recovery sees a torn tail, not a clean
+// miss.
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg")
+	ffs := New(nil)
+	ffs.Inject(Rule{Ops: []Op{OpWrite}, Nth: 1, Err: syscall.ENOSPC, Short: true})
+
+	f, err := ffs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789")
+	n, err := writeN(t, f, payload)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("short write should report ENOSPC, got %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("short write reported %d bytes, want %d", n, len(payload)/2)
+	}
+	f.Close()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blob) != "01234" {
+		t.Fatalf("on-disk bytes %q, want the torn half %q", blob, "01234")
+	}
+}
+
+// TestCrashAfter: a Crash rule lets the matching op SUCCEED (the rename hit
+// the platter) and then fails every subsequent operation with ErrCrashed
+// until a fresh FS is built over the directory.
+func TestCrashAfter(t *testing.T) {
+	dir := t.TempDir()
+	oldp, newp := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	if err := os.WriteFile(oldp, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := New(nil)
+	ffs.Inject(Rule{Ops: []Op{OpRename}, Nth: 1, Crash: true})
+
+	if err := ffs.Rename(oldp, newp); err != nil {
+		t.Fatalf("the crashing op itself must succeed, got %v", err)
+	}
+	if _, err := os.Stat(newp); err != nil {
+		t.Fatalf("rename did not reach the disk before the crash: %v", err)
+	}
+	if _, err := ffs.ReadFile(newp); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("read after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := ffs.Open(newp); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash = %v, want ErrCrashed", err)
+	}
+	if err := ffs.Remove(newp); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("remove after crash = %v, want ErrCrashed", err)
+	}
+	// A "reboot" — a fresh FS over the same dir — sees the committed state.
+	if blob, err := New(nil).ReadFile(newp); err != nil || string(blob) != "x" {
+		t.Fatalf("post-reboot read = %q, %v", blob, err)
+	}
+}
+
+// TestCallRecording: every injectable call is recorded in order with its op
+// classification (O_CREATE maps to create, plain opens to open), and
+// CountCalls filters by op.
+func TestCallRecording(t *testing.T) {
+	dir := t.TempDir()
+	ffs := New(nil)
+	f, err := ffs.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writeN(t, f, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := ffs.ReadFile(filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+	wantOps := []Op{OpCreate, OpWrite, OpSync, OpRead}
+	calls := ffs.Calls()
+	if len(calls) != len(wantOps) {
+		t.Fatalf("recorded %d calls %v, want %d", len(calls), calls, len(wantOps))
+	}
+	for i, c := range calls {
+		if c.Op != wantOps[i] {
+			t.Fatalf("call %d is %s %s, want op %s", i, c.Op, c.Path, wantOps[i])
+		}
+	}
+	if n := ffs.CountCalls(WriteOps()...); n != 3 {
+		t.Fatalf("CountCalls(WriteOps) = %d, want 3", n)
+	}
+	if n := ffs.CountCalls(ReadOps()...); n != 1 {
+		t.Fatalf("CountCalls(ReadOps) = %d, want 1", n)
+	}
+	if n := ffs.CountCalls(); n != 4 {
+		t.Fatalf("CountCalls() = %d, want 4", n)
+	}
+}
+
+// TestParse covers the env-knob grammar end to end: a valid spec arms
+// working rules, and each malformed field is rejected.
+func TestParse(t *testing.T) {
+	ffs, err := Parse("sync:wal-:2:eio:sticky, write:.seg:1:short")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	wal, err := ffs.OpenFile(filepath.Join(dir, "wal-000001.log"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	if err := wal.Sync(); err != nil {
+		t.Fatalf("1st WAL sync should pass, got %v", err)
+	}
+	if err := wal.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("2nd WAL sync should inject EIO, got %v", err)
+	}
+	if err := wal.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("3rd WAL sync should stay failed (sticky), got %v", err)
+	}
+	seg, err := ffs.OpenFile(filepath.Join(dir, "000001.seg"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+	if n, err := writeN(t, seg, []byte("abcd")); !errors.Is(err, syscall.ENOSPC) || n != 2 {
+		t.Fatalf("segment write = (%d, %v), want the short half with ENOSPC", n, err)
+	}
+
+	for _, bad := range []string{
+		"sync:wal-:2",          // too few fields
+		"sync:wal-:2:eio:x:y",  // too many fields
+		"frob:wal-:2:eio",      // unknown op
+		"sync:wal-:-1:eio",     // negative ordinal
+		"sync:wal-:two:eio",    // non-numeric ordinal
+		"sync:wal-:2:ebadf",    // unknown error name
+		"sync:wal-:2:eio:soon", // unknown flag
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed spec", bad)
+		}
+	}
+
+	// An empty spec and stray commas/space parse to a transparent FS.
+	if _, err := Parse(" , "); err != nil {
+		t.Fatalf("Parse of blank spec: %v", err)
+	}
+}
+
+// TestCrashSpec: the "crash" error name arms a crash-after rule through the
+// same grammar the smoke script uses.
+func TestCrashSpec(t *testing.T) {
+	ffs, err := Parse("rename:tiers.json:1:crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	oldp := filepath.Join(dir, "tiers.json.tmp1")
+	if err := os.WriteFile(oldp, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(oldp, filepath.Join(dir, "tiers.json")); err != nil {
+		t.Fatalf("crashing rename should succeed, got %v", err)
+	}
+	if err := ffs.SyncDir(dir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("dir sync after crash = %v, want ErrCrashed", err)
+	}
+}

@@ -1,0 +1,48 @@
+package lsm
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSearchAppendCtxCanceled: a canceled context stops the scatter before
+// any component is searched and surfaces ctx.Err(); the same call on a live
+// context still answers. The non-ctx entry points are unaffected.
+func TestSearchAppendCtxCanceled(t *testing.T) {
+	tree := mustOpen(t, testOptions(t, 0))
+	defer tree.Close()
+	vecs := randVecs(3, 9)
+	for _, v := range vecs[:6] {
+		if _, err := tree.Add(encVec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vecs[6:] {
+		if _, err := tree.Add(encVec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	q := randVecs(4, 1)[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := tree.SearchAppendCtx(ctx, nil, nil, q, 3)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled search err = %v, want context.Canceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("canceled search returned %d results", len(out))
+	}
+
+	out, err = tree.SearchAppendCtx(context.Background(), nil, nil, q, 3)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("live search = (%d results, %v), want 3 results", len(out), err)
+	}
+	if got := tree.Search(nil, q, 3); len(got) != 3 {
+		t.Fatalf("non-ctx Search returned %d results", len(got))
+	}
+}

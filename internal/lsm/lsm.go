@@ -28,9 +28,9 @@
 package lsm
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"os"
 	"slices"
 	"sort"
 	"sync"
@@ -43,6 +43,7 @@ import (
 	"repro/internal/seqscan"
 	"repro/internal/space"
 	"repro/internal/topk"
+	"repro/internal/vfs"
 )
 
 // Dynamic is the mutable-index contract the memtable builds on: incremental
@@ -68,6 +69,25 @@ var (
 // undecodable payload, an unknown or already-deleted id — as opposed to
 // storage failures. A serving layer answers these 4xx, not 5xx.
 var ErrInvalid = errors.New("invalid write")
+
+// ErrPoisoned marks writes rejected because an earlier WAL write or fsync
+// failed. A failed fsync must never be retried — the kernel may already
+// have dropped the dirty pages, so a later "successful" sync would
+// acknowledge a write that is not on disk (the fsyncgate lesson) — and a
+// failed append may have left a torn record mid-log that would silently
+// swallow every record appended after it on replay. The only safe move is
+// fail-stop: the WAL is poisoned, every subsequent write returns this
+// error (HTTP 503), searches keep serving, and re-opening the tree runs
+// the normal recovery path over what actually reached disk.
+var ErrPoisoned = errors.New("lsm: WAL poisoned by an earlier I/O failure; writes disabled until re-open")
+
+// ErrReadOnly marks writes rejected because a seal or compaction hit a
+// storage failure (ENOSPC, a failed rename). The WAL itself is intact and
+// every acknowledged write is durable, but the tree cannot safely make new
+// tiers, so it degrades to read-only (writes HTTP 507, searches keep
+// serving) until it is re-opened — the orphaned files of the failed seal
+// are debris the manifest never named, removed on the next recovery.
+var ErrReadOnly = errors.New("lsm: tree is read-only after a storage failure; writes disabled until re-open")
 
 // Options configures Open.
 type Options[T any] struct {
@@ -103,6 +123,10 @@ type Options[T any] struct {
 	// Tests use it for speed; a production tree must keep it false or a
 	// crash can lose acknowledged writes.
 	NoFsync bool
+	// FS is the filesystem every file operation goes through. Default:
+	// the real OS filesystem (vfs.OS). Fault tests substitute a
+	// faultfs.FS to fail chosen fsyncs, writes and renames.
+	FS vfs.FS
 }
 
 func (o *Options[T]) defaults() error {
@@ -133,6 +157,9 @@ func (o *Options[T]) defaults() error {
 		o.NewMemtable = func(sp space.Space[T]) (Dynamic[T], error) {
 			return seqscan.New[T](sp, nil), nil
 		}
+	}
+	if o.FS == nil {
+		o.FS = vfs.OS{}
 	}
 	return nil
 }
@@ -169,6 +196,7 @@ func (m *memtable[T]) find(gid uint32) (uint32, bool) {
 // they serialize against searches (the memtable guard).
 type Tree[T any] struct {
 	opts Options[T]
+	fs   vfs.FS
 
 	mu       sync.RWMutex
 	mem      *memtable[T]
@@ -180,6 +208,18 @@ type Tree[T any] struct {
 	walSeq   uint64
 	tierSeq  uint64 // next tier sequence number to assign
 	closed   bool
+
+	// Fail-stop state. poisoned and readOnly are sticky until re-open:
+	// once a WAL write/fsync fails (poisoned) or a seal/compaction hits a
+	// storage error (readOnly), every subsequent write is rejected with
+	// the matching sentinel while searches keep serving. lastIOErr is the
+	// most recent storage failure, for /statusz. quarantined lists the
+	// corrupt tier files recovery renamed aside, one "<file>: <cause>"
+	// entry each.
+	poisoned    error
+	readOnly    error
+	lastIOErr   error
+	quarantined []string
 
 	compacting bool
 	compactErr error
@@ -231,15 +271,21 @@ func (f fallbackSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) [
 
 // Open loads (or initializes) a tree in opts.Dir: manifest, sealed tiers,
 // then WAL replay into a fresh memtable. Files the manifest does not name
-// are crash debris and are removed.
+// are crash debris and are removed. A tier whose bytes fail validation
+// (checksum, shape, decode) is quarantined — dropped from the manifest and
+// renamed aside — so one corrupt file does not take down the whole tree; a
+// tier whose bytes cannot be *read* (EIO) aborts Open cleanly instead,
+// because discarding a possibly-intact file on a transient read failure
+// would turn one flaky disk read into permanent data loss.
 func Open[T any](opts Options[T]) (*Tree[T], error) {
 	if err := opts.defaults(); err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.FS
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	man, ok, err := readManifest(opts.Dir)
+	man, ok, err := readManifest(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +297,7 @@ func Open[T any](opts Options[T]) (*Tree[T], error) {
 			NextID:  uint32(opts.BaseN),
 			WalSeq:  1, NextTierSeq: 1,
 		}
-		if err := writeManifest(opts.Dir, man); err != nil {
+		if err := writeManifest(fsys, opts.Dir, man); err != nil {
 			return nil, err
 		}
 	}
@@ -264,24 +310,33 @@ func Open[T any](opts Options[T]) (*Tree[T], error) {
 
 	t := &Tree[T]{
 		opts:    opts,
+		fs:      fsys,
 		deleted: make(map[uint32]struct{}),
 		nextID:  man.NextID,
 		walSeq:  man.WalSeq,
 		tierSeq: man.NextTierSeq,
 	}
+	var quarantine []manifestTier
+	var keptTiers []manifestTier
 	for _, mt := range man.Tiers {
-		tr, err := readSegment(opts.Dir, opts.Space.Name(), mt.Seq, opts.Decode)
-		if err != nil {
-			return nil, err
+		tr, err := readSegment(fsys, opts.Dir, opts.Space.Name(), mt.Seq, opts.Decode)
+		if err == nil && (len(tr.ids) != mt.N || len(tr.tombs) != mt.Tombstones) {
+			err = fmt.Errorf("lsm: tier %d holds %d objects / %d tombstones, manifest says %d / %d: %w",
+				mt.Seq, len(tr.ids), len(tr.tombs), mt.N, mt.Tombstones, errSegCorrupt)
 		}
-		if len(tr.ids) != mt.N || len(tr.tombs) != mt.Tombstones {
-			return nil, fmt.Errorf("lsm: tier %d holds %d objects / %d tombstones, manifest says %d / %d",
-				mt.Seq, len(tr.ids), len(tr.tombs), mt.N, mt.Tombstones)
+		if err != nil {
+			if !isCorrupt(err) {
+				return nil, err
+			}
+			quarantine = append(quarantine, mt)
+			t.quarantined = append(t.quarantined,
+				fmt.Sprintf("%06d.seg%s: %v", mt.Seq, quarantineExt, err))
+			continue
 		}
 		if len(tr.ids) > 0 {
 			// The .psix is derived state: prefer loading it, rebuild from
 			// the segment when missing or unreadable.
-			idx, err := persist.LoadFile(idxPath(opts.Dir, mt.Seq), opts.Space, tr.objs)
+			idx, err := persist.LoadFileFS(fsys, idxPath(opts.Dir, mt.Seq), opts.Space, tr.objs)
 			if err != nil {
 				idx, err = opts.Build(opts.Space, tr.objs)
 				if err != nil {
@@ -289,7 +344,7 @@ func Open[T any](opts Options[T]) (*Tree[T], error) {
 				}
 				// Best effort: the rebuilt index serves fine from memory
 				// even if re-persisting it fails.
-				_ = persist.SaveFile(idxPath(opts.Dir, mt.Seq), idx)
+				_ = persist.SaveFileFS(fsys, idxPath(opts.Dir, mt.Seq), idx)
 			}
 			if mt.Kind != "" && idx.Name() != mt.Kind {
 				return nil, fmt.Errorf("lsm: tier %d index is %q, manifest says %q", mt.Seq, idx.Name(), mt.Kind)
@@ -297,54 +352,139 @@ func Open[T any](opts Options[T]) (*Tree[T], error) {
 			tr.idx = idx
 		}
 		t.tiers = append(t.tiers, tr)
+		keptTiers = append(keptTiers, mt)
 		for _, id := range tr.tombs {
 			t.deleted[id] = struct{}{}
 		}
 	}
-	removeStale(opts.Dir, man)
+	if len(quarantine) > 0 {
+		// Commit the surviving tier list first, then move the corrupt files
+		// aside: if we crash in between, the next recovery sees a manifest
+		// that no longer names them and treats them as removable debris —
+		// either way the tree converges without ever re-reading bad bytes.
+		man.Tiers = keptTiers
+		if err := writeManifest(fsys, opts.Dir, man); err != nil {
+			return nil, fmt.Errorf("lsm: committing manifest after quarantining %d tiers: %w", len(quarantine), err)
+		}
+		for _, mt := range quarantine {
+			quarantineTier(fsys, opts.Dir, mt.Seq)
+		}
+	}
+	removeStale(fsys, opts.Dir, man)
 
 	dyn, err := opts.NewMemtable(opts.Space)
 	if err != nil {
 		return nil, err
 	}
 	t.mem = &memtable[T]{dyn: dyn}
-	w, recs, err := openWAL(walPath(opts.Dir, man.WalSeq), opts.NoFsync)
+	w, recs, err := openWAL(fsys, walPath(opts.Dir, man.WalSeq), opts.NoFsync)
 	if err != nil {
 		return nil, err
 	}
 	t.wal = w
+	walStartID := t.nextID // manifest NextID: the id floor at this WAL's start
+	var kept []walRecord
+	dropped := 0
 	for _, rec := range recs {
-		if err := t.replay(rec); err != nil {
+		keep, err := t.replay(rec)
+		if err != nil {
 			w.close()
 			return nil, fmt.Errorf("lsm: replaying %s: %w", w.path, err)
+		}
+		if keep {
+			kept = append(kept, rec)
+		} else {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		// Spent tombstones must not outlive this recovery: the next Open
+		// would hit them again (and again), and the "its tier was just
+		// quarantined" context that explains them is gone by then. Rotating
+		// them out now makes recovery convergent — each Open strictly
+		// shrinks the set of anomalies instead of preserving it.
+		if err := t.rewriteWAL(kept, walStartID); err != nil {
+			t.wal.close()
+			return nil, fmt.Errorf("lsm: dropping %d spent WAL tombstones: %w", dropped, err)
 		}
 	}
 	return t, nil
 }
 
 // replay applies one recovered WAL record to the in-memory state, exactly
-// as the original applyAdd/applyDelete did.
-func (t *Tree[T]) replay(rec walRecord) error {
+// as the original applyAdd/applyDelete did. It reports whether the record
+// is still load-bearing: a delete whose target is already gone — its tier
+// was quarantined this recovery, or a crash landed between a quarantining
+// manifest commit and the WAL rewrite that follows it — is a spent
+// tombstone. The object is equally dead either way, so the record is
+// dropped (keep=false) rather than failing recovery over it. Tolerance
+// cannot mask a real inconsistency here: every manifest-named tier either
+// loaded or aborted/quarantined before replay runs, so a failing delete
+// genuinely has no live target.
+func (t *Tree[T]) replay(rec walRecord) (keep bool, err error) {
 	switch rec.op {
 	case walOpAdd:
 		if rec.id < t.nextID || rec.id < uint32(t.opts.BaseN) {
-			return fmt.Errorf("add record reuses id %d (next id %d)", rec.id, t.nextID)
+			return false, fmt.Errorf("add record reuses id %d (next id %d)", rec.id, t.nextID)
 		}
 		obj, err := t.opts.Decode(rec.payload)
 		if err != nil {
-			return fmt.Errorf("decoding add record id %d: %w", rec.id, err)
+			return false, fmt.Errorf("decoding add record id %d: %w", rec.id, err)
 		}
 		if err := t.mem.add(rec.id, obj, rec.payload); err != nil {
-			return err
+			return false, err
 		}
 		t.nextID = rec.id + 1
 	case walOpDelete:
 		if err := t.applyDelete(rec.id); err != nil {
-			return fmt.Errorf("delete record id %d: %w", rec.id, err)
+			return false, nil
 		}
 	default:
-		return fmt.Errorf("unknown record op %d", rec.op)
+		return false, fmt.Errorf("unknown record op %d", rec.op)
 	}
+	return true, nil
+}
+
+// rewriteWAL rotates the just-replayed WAL segment to shed records replay
+// dropped: the surviving records are written to a fresh segment, the
+// manifest commits the new sequence, and only then is the old segment
+// removed. A crash at any boundary leaves exactly one manifest-named,
+// fully-intact segment — the old one (with its spent tombstones, dropped
+// again next time) or the new one. walStartID is the id floor at the WAL's
+// start: the kept add records travel into the new segment, so the manifest
+// must keep recording the NextID from *before* they were replayed, or the
+// next recovery would reject them as id reuse.
+func (t *Tree[T]) rewriteWAL(kept []walRecord, walStartID uint32) error {
+	newSeq := t.walSeq + 1
+	nw, err := createWAL(t.fs, walPath(t.opts.Dir, newSeq), t.opts.NoFsync)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		nw.f.Close()
+		t.fs.Remove(nw.path)
+		return err
+	}
+	for _, rec := range kept {
+		if err := nw.append(rec.op, rec.id, rec.payload); err != nil {
+			return abort(err)
+		}
+	}
+	if err := nw.sync(); err != nil {
+		return abort(err)
+	}
+	replayedTo := t.nextID
+	t.nextID = walStartID
+	err = t.commitLocked(t.tiers, newSeq)
+	t.nextID = replayedTo
+	if err != nil {
+		return abort(err)
+	}
+	old := t.wal
+	t.wal = nw
+	t.walSeq = newSeq
+	old.close()
+	t.fs.Remove(old.path)
 	return nil
 }
 
@@ -404,20 +544,27 @@ func (t *Tree[T]) AddBatch(raws [][]byte) ([]uint32, error) {
 	if err := t.writableLocked(); err != nil {
 		return nil, err
 	}
+	// Append and sync the whole batch before any of it becomes visible:
+	// a write that errors to the client is then never served from the
+	// memtable of this process. (Its WAL bytes may still be replayed after
+	// a re-open — a failed commit's outcome is indeterminate, like any
+	// failed commit — but it can never be *served yet errored* in the same
+	// process that reported the failure.)
 	ids := make([]uint32, len(raws))
 	for i, raw := range raws {
-		id := t.nextID
-		if err := t.wal.append(walOpAdd, id, raw); err != nil {
-			return nil, err
+		ids[i] = t.nextID + uint32(i)
+		if err := t.wal.append(walOpAdd, ids[i], raw); err != nil {
+			return nil, t.poisonLocked(fmt.Errorf("WAL append: %w", err))
 		}
-		if err := t.mem.add(id, objs[i], slices.Clone(raw)); err != nil {
-			return nil, err
-		}
-		t.nextID = id + 1
-		ids[i] = id
 	}
 	if err := t.wal.sync(); err != nil {
-		return nil, err
+		return nil, t.poisonLocked(fmt.Errorf("WAL fsync: %w", err))
+	}
+	for i, raw := range raws {
+		if err := t.mem.add(ids[i], objs[i], slices.Clone(raw)); err != nil {
+			return nil, err
+		}
+		t.nextID = ids[i] + 1
 	}
 	if t.mem.dyn.Live() >= t.opts.MemtableCap {
 		if _, err := t.sealLocked(); err != nil {
@@ -458,13 +605,18 @@ func (t *Tree[T]) DeleteBatch(ids []uint32) error {
 	}
 	for _, id := range ids {
 		if err := t.wal.append(walOpDelete, id, nil); err != nil {
-			return err
+			return t.poisonLocked(fmt.Errorf("WAL append: %w", err))
 		}
+	}
+	if err := t.wal.sync(); err != nil {
+		return t.poisonLocked(fmt.Errorf("WAL fsync: %w", err))
+	}
+	for _, id := range ids {
 		if err := t.applyDelete(id); err != nil {
 			return err
 		}
 	}
-	return t.wal.sync()
+	return nil
 }
 
 // applyDelete routes a validated delete: memtable-resident ids are deleted
@@ -498,15 +650,43 @@ func (t *Tree[T]) inTiersLocked(id uint32) bool {
 	return false
 }
 
-// writableLocked rejects writes on a closed tree.
+// writableLocked rejects writes on a closed, poisoned or read-only tree.
 func (t *Tree[T]) writableLocked() error {
 	if t.closed {
 		return fmt.Errorf("lsm: tree is closed")
+	}
+	if t.poisoned != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrPoisoned, t.poisoned)
+	}
+	if t.readOnly != nil {
+		return fmt.Errorf("%w (cause: %v)", ErrReadOnly, t.readOnly)
 	}
 	if t.wal == nil {
 		return fmt.Errorf("lsm: tree lost its WAL to an earlier seal failure; re-open to recover")
 	}
 	return nil
+}
+
+// poisonLocked records a WAL I/O failure and flips the tree into the
+// poisoned state (see ErrPoisoned). It returns the error the failing write
+// should surface to its client, already carrying the sentinel so the
+// serving layer maps it to 503 without special-casing the first failure.
+func (t *Tree[T]) poisonLocked(cause error) error {
+	if t.poisoned == nil {
+		t.poisoned = cause
+	}
+	t.lastIOErr = cause
+	return fmt.Errorf("%w (cause: %v)", ErrPoisoned, cause)
+}
+
+// degradeLocked records a seal/compaction storage failure and flips the
+// tree read-only (see ErrReadOnly), returning the error to surface.
+func (t *Tree[T]) degradeLocked(cause error) error {
+	if t.readOnly == nil {
+		t.readOnly = cause
+	}
+	t.lastIOErr = cause
+	return fmt.Errorf("%w (cause: %v)", ErrReadOnly, cause)
 }
 
 // Flush seals the memtable into a tier regardless of fill level. It returns
@@ -558,7 +738,7 @@ func (t *Tree[T]) sealLocked() (*TierStatus, error) {
 		// rotate the WAL so replay stays bounded. The manifest still
 		// commits NextID: even fully-cancelled ids are never reused.
 		if err := t.commitLocked(t.tiers, newWalSeq); err != nil {
-			return nil, err
+			return nil, t.degradeLocked(fmt.Errorf("committing WAL rotation: %w", err))
 		}
 		return nil, t.rotateWalLocked(newWalSeq)
 	}
@@ -569,17 +749,17 @@ func (t *Tree[T]) sealLocked() (*TierStatus, error) {
 			return nil, fmt.Errorf("lsm: building tier %d index: %w", tr.seq, err)
 		}
 		tr.idx = idx
-		if err := persist.SaveFile(idxPath(t.opts.Dir, tr.seq), idx); err != nil {
-			return nil, err
+		if err := persist.SaveFileFS(t.fs, idxPath(t.opts.Dir, tr.seq), idx); err != nil {
+			return nil, t.degradeLocked(fmt.Errorf("writing tier %d index: %w", tr.seq, err))
 		}
 	}
-	if err := writeSegment(t.opts.Dir, t.opts.Space.Name(), tr); err != nil {
-		return nil, err
+	if err := writeSegment(t.fs, t.opts.Dir, t.opts.Space.Name(), tr); err != nil {
+		return nil, t.degradeLocked(fmt.Errorf("writing tier %d segment: %w", tr.seq, err))
 	}
 	t.tierSeq++
 	if err := t.commitLocked(append(slices.Clone(t.tiers), tr), newWalSeq); err != nil {
 		t.tierSeq-- // manifest unchanged; the orphaned files are debris
-		return nil, err
+		return nil, t.degradeLocked(fmt.Errorf("committing tier %d: %w", tr.seq, err))
 	}
 	t.tiers = append(t.tiers, tr)
 	t.searchEpoch++
@@ -610,7 +790,7 @@ func (t *Tree[T]) commitLocked(tiers []*tier[T], walSeq uint64) error {
 		}
 		man.Tiers = append(man.Tiers, mt)
 	}
-	return writeManifest(t.opts.Dir, man)
+	return writeManifest(t.fs, t.opts.Dir, man)
 }
 
 // rotateWalLocked switches to the (already-committed) new WAL segment and
@@ -618,19 +798,19 @@ func (t *Tree[T]) commitLocked(tiers []*tier[T], walSeq uint64) error {
 // by the just-sealed tier, so it is closed and removed.
 func (t *Tree[T]) rotateWalLocked(newWalSeq uint64) error {
 	old := t.wal
-	w, err := createWAL(walPath(t.opts.Dir, newWalSeq), t.opts.NoFsync)
+	w, err := createWAL(t.fs, walPath(t.opts.Dir, newWalSeq), t.opts.NoFsync)
 	if err != nil {
 		// The manifest already points at the new segment; without it the
-		// tree must refuse writes (reads are unaffected). Re-opening
-		// recovers: openWAL creates the missing file.
+		// tree cannot write (reads are unaffected), so it poisons itself.
+		// Re-opening recovers: openWAL creates the missing file.
 		t.wal = nil
 		old.close()
-		return fmt.Errorf("lsm: creating WAL segment %d: %w", newWalSeq, err)
+		return t.poisonLocked(fmt.Errorf("creating WAL segment %d: %w", newWalSeq, err))
 	}
 	t.wal = w
 	t.walSeq = newWalSeq
 	old.close()
-	os.Remove(old.path)
+	t.fs.Remove(old.path)
 	dyn, err := t.opts.NewMemtable(t.opts.Space)
 	if err != nil {
 		return err
@@ -648,6 +828,11 @@ func (t *Tree[T]) rotateWalLocked(newWalSeq uint64) error {
 // snapshot stays a stable prefix of the live list).
 func (t *Tree[T]) maybeCompactLocked() {
 	if t.compacting || t.closed || len(t.tiers) <= t.opts.MaxTiers {
+		return
+	}
+	if t.readOnly != nil || t.poisoned != nil {
+		// A degraded store must not keep launching compactions that write
+		// to the same failing disk; the backlog drains after re-open.
 		return
 	}
 	inputs := slices.Clone(t.tiers)
@@ -673,6 +858,18 @@ func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint6
 	defer t.wg.Done()
 	fail := func(err error) {
 		t.mu.Lock()
+		t.compactErr = err
+		t.compacting = false
+		t.mu.Unlock()
+	}
+	// failIO is fail for storage failures: beyond recording the error it
+	// flips the tree read-only — a store that cannot write tiers must stop
+	// accepting writes it will never be able to seal. The half-written
+	// output files are debris the manifest never named; the next recovery
+	// removes them.
+	failIO := func(err error) {
+		t.mu.Lock()
+		t.degradeLocked(err)
 		t.compactErr = err
 		t.compacting = false
 		t.mu.Unlock()
@@ -730,13 +927,13 @@ func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint6
 				return
 			}
 			tr.idx = idx
-			if err := persist.SaveFile(idxPath(t.opts.Dir, seq), idx); err != nil {
-				fail(err)
+			if err := persist.SaveFileFS(t.fs, idxPath(t.opts.Dir, seq), idx); err != nil {
+				failIO(fmt.Errorf("lsm: writing compacted index: %w", err))
 				return
 			}
 		}
-		if err := writeSegment(t.opts.Dir, t.opts.Space.Name(), tr); err != nil {
-			fail(err)
+		if err := writeSegment(t.fs, t.opts.Dir, t.opts.Space.Name(), tr); err != nil {
+			failIO(fmt.Errorf("lsm: writing compacted segment: %w", err))
 			return
 		}
 	}
@@ -748,6 +945,7 @@ func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint6
 	}
 	newTiers = append(newTiers, t.tiers[len(inputs):]...)
 	if err := t.commitLocked(newTiers, t.walSeq); err != nil {
+		t.degradeLocked(fmt.Errorf("lsm: committing compaction: %w", err))
 		t.compactErr = err
 		t.compacting = false
 		t.mu.Unlock()
@@ -777,8 +975,8 @@ func (t *Tree[T]) compact(inputs []*tier[T], dead map[uint32]struct{}, seq uint6
 	// on. The manifest no longer names these files, so a crash here just
 	// leaves debris for removeStale.
 	for _, in := range inputs {
-		os.Remove(segPath(t.opts.Dir, in.seq))
-		os.Remove(idxPath(t.opts.Dir, in.seq))
+		t.fs.Remove(segPath(t.opts.Dir, in.seq))
+		t.fs.Remove(idxPath(t.opts.Dir, in.seq))
 	}
 	t.mu.Lock()
 	t.compacting = false
@@ -805,8 +1003,23 @@ func (t *Tree[T]) Search(base index.Index[T], query T, k int) []topk.Neighbor {
 // top-k selection — runs on a pooled search state, so a warm call with a
 // dst of sufficient capacity performs zero allocations.
 func (t *Tree[T]) SearchAppend(dst []topk.Neighbor, base index.Index[T], query T, k int) []topk.Neighbor {
+	dst, _ = t.SearchAppendCtx(context.Background(), dst, base, query, k)
+	return dst
+}
+
+// SearchAppendCtx is SearchAppend with cooperative cancellation: ctx is
+// checked between component searches (base, each tier, memtable), so a
+// query its client has abandoned — a server timeout, a dropped connection —
+// stops scattering instead of running every remaining component to
+// completion. On cancellation dst is returned unchanged alongside the ctx
+// error. The checks are allocation-free; the zero-alloc warm-path guarantee
+// of SearchAppend holds here too.
+func (t *Tree[T]) SearchAppendCtx(ctx context.Context, dst []topk.Neighbor, base index.Index[T], query T, k int) ([]topk.Neighbor, error) {
 	if k <= 0 {
-		return dst
+		return dst, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return dst, err
 	}
 	st := t.searchPool.Get()
 	defer t.searchPool.Put(st)
@@ -822,11 +1035,19 @@ func (t *Tree[T]) SearchAppend(dst []topk.Neighbor, base index.Index[T], query T
 		if tr.idx == nil {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			st.buf = buf[:0]
+			return dst, err
+		}
 		start := len(buf)
 		buf = st.tierS[ti].SearchAppend(buf, query, kq)
 		for i := start; i < len(buf); i++ {
 			buf[i].ID = tr.ids[buf[i].ID]
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		st.buf = buf[:0]
+		return dst, err
 	}
 	start := len(buf)
 	buf = st.memS.SearchAppend(buf, query, kq)
@@ -847,7 +1068,7 @@ func (t *Tree[T]) SearchAppend(dst []topk.Neighbor, base index.Index[T], query T
 	// caller. Keep the (possibly regrown) buffer for the next query.
 	dst = append(dst, top...)
 	st.buf = buf[:0]
-	return dst
+	return dst, nil
 }
 
 // refreshLocked brings a pooled search state up to date with the tree's
@@ -890,6 +1111,18 @@ func tierStatusOf[T any](tr *tier[T]) TierStatus {
 	return st
 }
 
+// Storage states a tree reports in Status.State.
+const (
+	// StateOK: the tree is fully serving — reads and writes.
+	StateOK = "ok"
+	// StatePoisoned: a WAL write or fsync failed; writes return
+	// ErrPoisoned (503), searches keep serving. Re-open to recover.
+	StatePoisoned = "poisoned"
+	// StateReadOnly: a seal or compaction hit a storage failure; writes
+	// return ErrReadOnly (507), searches keep serving. Re-open to recover.
+	StateReadOnly = "read-only"
+)
+
 // Status is a point-in-time snapshot of the tree's shape.
 type Status struct {
 	BaseN        int          `json:"base_n"`
@@ -904,6 +1137,27 @@ type Status struct {
 	Tiers        []TierStatus `json:"tiers"`
 	Compacting   bool         `json:"compacting,omitempty"`
 	CompactErr   string       `json:"compact_err,omitempty"`
+	// State is the storage state: StateOK, StatePoisoned or StateReadOnly.
+	State string `json:"state"`
+	// LastIOError is the most recent storage failure, empty when none.
+	LastIOError string `json:"last_io_error,omitempty"`
+	// Quarantined lists corrupt tier files recovery renamed aside
+	// ("<file>: <cause>"), empty when the last recovery was clean.
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+// Degraded reports whether the tree is serving in a degraded state —
+// poisoned, read-only, or carrying quarantined tiers — and why. An empty
+// slice means fully healthy; /healthz surfaces the reasons.
+func (s *Status) Degraded() []string {
+	var reasons []string
+	if s.State != StateOK {
+		reasons = append(reasons, "storage "+s.State)
+	}
+	if len(s.Quarantined) > 0 {
+		reasons = append(reasons, fmt.Sprintf("%d quarantined tiers", len(s.Quarantined)))
+	}
+	return reasons
 }
 
 // Status reports the tree's current shape.
@@ -918,6 +1172,17 @@ func (t *Tree[T]) Status() Status {
 		Deleted:      len(t.deleted),
 		WalSeq:       t.walSeq,
 		Compacting:   t.compacting,
+		State:        StateOK,
+		Quarantined:  t.quarantined,
+	}
+	switch {
+	case t.poisoned != nil:
+		st.State = StatePoisoned
+	case t.readOnly != nil:
+		st.State = StateReadOnly
+	}
+	if t.lastIOErr != nil {
+		st.LastIOError = t.lastIOErr.Error()
 	}
 	if t.wal != nil {
 		st.WalRecords = t.wal.records

@@ -2,14 +2,17 @@ package lsm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"slices"
+	"strings"
 
 	"repro/internal/codec"
 	"repro/internal/index"
 	"repro/internal/persist"
+	"repro/internal/vfs"
 )
 
 // Sealed tiers. A seal turns the memtable into two files plus a manifest
@@ -59,15 +62,15 @@ func walPath(dir string, seq uint64) string {
 }
 
 // writeSegment writes the .seg blob for a tier atomically.
-func writeSegment[T any](dir, spaceName string, tr *tier[T]) error {
+func writeSegment[T any](fsys vfs.FS, dir, spaceName string, tr *tier[T]) error {
 	path := segPath(dir, tr.seq)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(f.Name())
+		fsys.Remove(f.Name())
 		return err
 	}
 	cw := codec.NewWriter(f, codec.KindLSMSegment, spaceName, len(tr.ids))
@@ -86,20 +89,36 @@ func writeSegment[T any](dir, spaceName string, tr *tier[T]) error {
 	if err := f.Close(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Chmod(f.Name(), 0o644); err != nil {
+	if err := fsys.Chmod(f.Name(), 0o644); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(f.Name(), path); err != nil {
+	if err := fsys.Rename(f.Name(), path); err != nil {
 		return cleanup(err)
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
+}
+
+// errSegCorrupt tags a segment whose bytes were read back fine but describe
+// something other than the tier the manifest promised — a decode failure,
+// an unsorted id section, a sequence-number mismatch. Together with
+// codec.ErrCorrupt it is the "this file is damaged, not this disk is
+// failing" signal Open's quarantine decision keys on: a corrupt tier is
+// renamed aside and the rest of the tree keeps serving, while a plain read
+// error (EIO) aborts recovery cleanly instead of discarding a file that may
+// be perfectly intact.
+var errSegCorrupt = errors.New("lsm: segment corrupt")
+
+// isCorrupt reports whether a tier-load failure means damaged bytes (safe
+// to quarantine) rather than a failing read path (must abort).
+func isCorrupt(err error) bool {
+	return errors.Is(err, codec.ErrCorrupt) || errors.Is(err, errSegCorrupt)
 }
 
 // readSegment loads and validates a .seg blob. Objects are decoded with the
 // tree's Decode; the index file is not touched here.
-func readSegment[T any](dir, spaceName string, seq uint64, decode func([]byte) (T, error)) (*tier[T], error) {
+func readSegment[T any](fsys vfs.FS, dir, spaceName string, seq uint64, decode func([]byte) (T, error)) (*tier[T], error) {
 	path := segPath(dir, seq)
-	f, err := os.Open(path)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -110,10 +129,10 @@ func readSegment[T any](dir, spaceName string, seq uint64, decode func([]byte) (
 	}
 	hdr := cr.Header()
 	if hdr.Kind != codec.KindLSMSegment {
-		return nil, fmt.Errorf("%s: file holds a %q blob, want %q", path, hdr.Kind, codec.KindLSMSegment)
+		return nil, fmt.Errorf("%s: file holds a %q blob, want %q: %w", path, hdr.Kind, codec.KindLSMSegment, errSegCorrupt)
 	}
 	if hdr.Space != spaceName {
-		return nil, fmt.Errorf("%s: segment written under space %q, tree uses %q", path, hdr.Space, spaceName)
+		return nil, fmt.Errorf("%s: segment written under space %q, tree uses %q: %w", path, hdr.Space, spaceName, errSegCorrupt)
 	}
 	n := int(hdr.N)
 	tr := &tier[T]{seq: cr.U64()}
@@ -127,23 +146,38 @@ func readSegment[T any](dir, spaceName string, seq uint64, decode func([]byte) (
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if tr.seq != seq {
-		return nil, fmt.Errorf("%s: segment stamps seq %d, manifest says %d", path, tr.seq, seq)
+		return nil, fmt.Errorf("%s: segment stamps seq %d, manifest says %d: %w", path, tr.seq, seq, errSegCorrupt)
 	}
 	if len(tr.ids) != n {
-		return nil, fmt.Errorf("%s: %d ids for %d objects", path, len(tr.ids), n)
+		return nil, fmt.Errorf("%s: %d ids for %d objects: %w", path, len(tr.ids), n, errSegCorrupt)
 	}
 	if !slices.IsSorted(tr.ids) || !slices.IsSorted(tr.tombs) {
-		return nil, fmt.Errorf("%s: unsorted id or tombstone section", path)
+		return nil, fmt.Errorf("%s: unsorted id or tombstone section: %w", path, errSegCorrupt)
 	}
 	tr.objs = make([]T, n)
 	for i, b := range tr.blobs {
 		obj, err := decode(b)
 		if err != nil {
-			return nil, fmt.Errorf("%s: decoding object id %d: %w", path, tr.ids[i], err)
+			return nil, fmt.Errorf("%s: decoding object id %d: %v: %w", path, tr.ids[i], err, errSegCorrupt)
 		}
 		tr.objs[i] = obj
 	}
 	return tr, nil
+}
+
+// quarantineExt marks a file set aside by recovery: the bytes are kept for
+// forensics but the name no longer matches any pattern the tree manages.
+const quarantineExt = ".quarantined"
+
+// quarantineTier renames a corrupt tier's files aside (<name>.quarantined)
+// so recovery converges without them while an operator can still inspect
+// the damage. Best effort: the manifest has already been rewritten without
+// the tier, so even if a rename fails the file is mere debris.
+func quarantineTier(fsys vfs.FS, dir string, seq uint64) {
+	for _, p := range []string{segPath(dir, seq), idxPath(dir, seq)} {
+		_ = fsys.Rename(p, p+quarantineExt)
+	}
+	_ = fsys.SyncDir(dir)
 }
 
 // manifest is the tiers.json sidecar: the only authority on which files
@@ -173,19 +207,19 @@ const manifestName = "tiers.json"
 
 // writeManifest atomically replaces the manifest: temp file, fsync, rename,
 // directory fsync. After it returns, recovery will see exactly this state.
-func writeManifest(dir string, m *manifest) error {
+func writeManifest(fsys vfs.FS, dir string, m *manifest) error {
 	blob, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
 	path := filepath.Join(dir, manifestName)
-	f, err := os.CreateTemp(dir, manifestName+".tmp*")
+	f, err := fsys.CreateTemp(dir, manifestName+".tmp*")
 	if err != nil {
 		return err
 	}
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(f.Name())
+		fsys.Remove(f.Name())
 		return err
 	}
 	if _, err := f.Write(append(blob, '\n')); err != nil {
@@ -197,19 +231,19 @@ func writeManifest(dir string, m *manifest) error {
 	if err := f.Close(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Chmod(f.Name(), 0o644); err != nil {
+	if err := fsys.Chmod(f.Name(), 0o644); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(f.Name(), path); err != nil {
+	if err := fsys.Rename(f.Name(), path); err != nil {
 		return cleanup(err)
 	}
-	return syncDir(dir)
+	return fsys.SyncDir(dir)
 }
 
 // readManifest loads tiers.json; ok is false when the file does not exist.
-func readManifest(dir string) (m *manifest, ok bool, err error) {
-	blob, err := os.ReadFile(filepath.Join(dir, manifestName))
-	if os.IsNotExist(err) {
+func readManifest(fsys vfs.FS, dir string) (m *manifest, ok bool, err error) {
+	blob, err := fsys.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, false, nil
 	}
 	if err != nil {
@@ -225,52 +259,40 @@ func readManifest(dir string) (m *manifest, ok bool, err error) {
 	return m, true, nil
 }
 
-// syncDir fsyncs a directory so a rename within it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	// Some filesystems reject fsync on directories; the rename itself is
-	// still atomic there, so degrade silently.
-	_ = d.Sync()
-	return nil
-}
-
 // removeStale deletes every file in dir that the manifest does not account
 // for: segments and index files of unlisted sequence numbers, WAL segments
 // other than the current one, and orphaned temp files. Such files are debris
 // of a crash between "write files" and "commit manifest" (or after a commit
 // that replaced them) and must not survive, or a later seal reusing the
-// sequence number would find them in the way.
-func removeStale(dir string, m *manifest) {
+// sequence number would find them in the way. Quarantined files are the one
+// exception: they are kept, deliberately, for the operator.
+func removeStale(fsys vfs.FS, dir string, m *manifest) {
 	listed := make(map[uint64]bool, len(m.Tiers))
 	for _, t := range m.Tiers {
 		listed[t.Seq] = true
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || name == manifestName {
+		if e.IsDir() || name == manifestName || strings.HasSuffix(name, quarantineExt) {
 			continue
 		}
 		var seq uint64
 		switch {
 		case matchSeq(name, ".seg", &seq), matchSeq(name, persist.Ext, &seq):
 			if !listed[seq] {
-				os.Remove(filepath.Join(dir, name))
+				fsys.Remove(filepath.Join(dir, name))
 			}
 		case matchWal(name, &seq):
 			if seq != m.WalSeq {
-				os.Remove(filepath.Join(dir, name))
+				fsys.Remove(filepath.Join(dir, name))
 			}
 		default:
 			// Leftover temp files from interrupted atomic writes.
-			os.Remove(filepath.Join(dir, name))
+			fsys.Remove(filepath.Join(dir, name))
 		}
 	}
 }

@@ -2,9 +2,13 @@ package lsm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"os"
+
+	"repro/internal/vfs"
 )
 
 // Write-ahead log. Every mutation (add, delete) is appended to the current
@@ -58,7 +62,7 @@ type walRecord struct {
 
 // wal is an open, append-only WAL segment.
 type wal struct {
-	f       *os.File
+	f       vfs.File
 	path    string
 	size    int64
 	nosync  bool
@@ -67,8 +71,8 @@ type wal struct {
 
 // createWAL creates a fresh segment at path (truncating any stale file) and
 // durably writes its header.
-func createWAL(path string, nosync bool) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+func createWAL(fsys vfs.FS, path string, nosync bool) (*wal, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -92,17 +96,17 @@ func createWAL(path string, nosync bool) (*wal, error) {
 // created fresh (the crash window between manifest write and segment
 // creation); a header shorter than walHeaderLen is itself a torn tail of
 // createWAL and is rewritten.
-func openWAL(path string, nosync bool) (*wal, []walRecord, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		w, cerr := createWAL(path, nosync)
+func openWAL(fsys vfs.FS, path string, nosync bool) (*wal, []walRecord, error) {
+	data, err := fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		w, cerr := createWAL(fsys, path, nosync)
 		return w, nil, cerr
 	}
 	if err != nil {
 		return nil, nil, err
 	}
 	if len(data) < walHeaderLen {
-		w, cerr := createWAL(path, nosync)
+		w, cerr := createWAL(fsys, path, nosync)
 		return w, nil, cerr
 	}
 	if string(data[:4]) != walMagic {
@@ -136,7 +140,7 @@ func openWAL(path string, nosync bool) (*wal, []walRecord, error) {
 		off += int64(4 + frameLen + 4)
 	}
 
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/lsh"
 	"repro/internal/seqscan"
 	"repro/internal/space"
+	"repro/internal/vfs"
 	"repro/internal/vptree"
 )
 
@@ -132,13 +133,20 @@ func Load[T any](r io.Reader, sp space.Space[T], data []T) (index.Index[T], erro
 // destination, so neither a crash nor a failed Save can leave a truncated
 // or torn file where a good one used to be.
 func SaveFile[T any](path string, idx index.Index[T]) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	return SaveFileFS(vfs.OS{}, path, idx)
+}
+
+// SaveFileFS is SaveFile over an explicit filesystem — the injectable form
+// the LSM tree routes its tier index saves through so fault tests can fail
+// any step of the atomic-write sequence.
+func SaveFileFS[T any](fsys vfs.FS, path string, idx index.Index[T]) error {
+	f, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	cleanup := func(err error) error {
 		f.Close()
-		os.Remove(f.Name())
+		fsys.Remove(f.Name())
 		return err
 	}
 	if err := Save(f, idx); err != nil {
@@ -150,10 +158,10 @@ func SaveFile[T any](path string, idx index.Index[T]) error {
 	if err := f.Close(); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Chmod(f.Name(), 0o644); err != nil {
+	if err := fsys.Chmod(f.Name(), 0o644); err != nil {
 		return cleanup(err)
 	}
-	if err := os.Rename(f.Name(), path); err != nil {
+	if err := fsys.Rename(f.Name(), path); err != nil {
 		return cleanup(err)
 	}
 	return nil
@@ -161,7 +169,12 @@ func SaveFile[T any](path string, idx index.Index[T]) error {
 
 // LoadFile reads one index from the file at path.
 func LoadFile[T any](path string, sp space.Space[T], data []T) (index.Index[T], error) {
-	f, err := os.Open(path)
+	return LoadFileFS(vfs.OS{}, path, sp, data)
+}
+
+// LoadFileFS is LoadFile over an explicit filesystem (see SaveFileFS).
+func LoadFileFS[T any](fsys vfs.FS, path string, sp space.Space[T], data []T) (index.Index[T], error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +215,21 @@ func FileChecksum(path string) (uint32, error) {
 		return 0, err
 	}
 	return h.Sum32(), nil
+}
+
+// FileChecksumFS is FileChecksum over an explicit filesystem, so the
+// shard-set verifier can run under fault injection. It reads the whole blob
+// (vfs deliberately has no Stat; index files are small next to their data
+// sets), which also exercises the read path the fault sweep targets.
+func FileChecksumFS(fsys vfs.FS, path string) (uint32, error) {
+	blob, err := fsys.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(blob) < 5 {
+		return 0, fmt.Errorf("%s: %d bytes is too short for a checksummed index file", path, len(blob))
+	}
+	return crc32.Checksum(blob[:len(blob)-4], castagnoli), nil
 }
 
 // PeekHeader reads and validates the file at path just far enough to return

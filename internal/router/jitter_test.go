@@ -1,0 +1,54 @@
+package router
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestJitterIntervalSpread pins the prober-jitter contract: every draw lies
+// in [interval/2, 3*interval/2) — the mean matches the configured cadence —
+// and draws actually spread across that range instead of clustering, so a
+// fleet of routers restarted at the same instant decorrelates within one
+// probe cycle rather than probing ejected replicas in lockstep forever.
+func TestJitterIntervalSpread(t *testing.T) {
+	const interval = 2 * time.Second
+	rng := rand.New(rand.NewSource(1))
+	lo, hi := interval/2, interval*3/2
+	minD, maxD := hi, time.Duration(0)
+	var buckets [4]int
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		d := jitterInterval(interval, rng)
+		if d < lo || d >= hi {
+			t.Fatalf("draw %v outside [%v, %v)", d, lo, hi)
+		}
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+		buckets[int((d-lo)*4/interval)]++
+	}
+	// Uniform over four quartiles of the range: each expects draws/4; a
+	// quarter of that is a generous floor that still catches clustering.
+	for i, n := range buckets {
+		if n < draws/16 {
+			t.Fatalf("quartile %d of the jitter range drew %d/%d times; draws are clustered", i, n, draws)
+		}
+	}
+	if span := maxD - minD; span < interval/2 {
+		t.Fatalf("jitter span %v is too narrow for a %v range", span, interval)
+	}
+}
+
+// TestJitterIntervalZero: a non-positive interval passes through untouched
+// (New defaults the interval before probeLoop starts, but the helper must
+// not panic on degenerate input).
+func TestJitterIntervalZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if got := jitterInterval(0, rng); got != 0 {
+		t.Fatalf("jitterInterval(0) = %v, want 0", got)
+	}
+}

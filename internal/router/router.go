@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -162,18 +163,34 @@ func (rt *Router) Names() []string { return rt.names }
 // once; in-flight requests are unaffected.
 func (rt *Router) Close() { rt.stopOnce.Do(func() { close(rt.stop) }) }
 
+// jitterInterval draws one probe delay: uniform over
+// [interval/2, 3*interval/2), so the long-run probe rate matches the
+// configured cadence while no two routers (or no two iterations) fire in
+// lockstep. Without it a fleet restarted together would hammer every
+// ejected replica at the same instants forever — the classic thundering
+// herd that turns a recovering host's first seconds into a probe storm.
+func jitterInterval(interval time.Duration, rng *rand.Rand) time.Duration {
+	if interval <= 0 {
+		return interval
+	}
+	return interval/2 + time.Duration(rng.Int63n(int64(interval)))
+}
+
 // probeLoop re-admits ejected replicas whose /healthz answers again. The
 // query path ejects; only this loop (or a successful last-resort attempt)
 // un-ejects — so a flapping host costs at most one probe interval of
-// absence, not a failed user query.
+// absence, not a failed user query. Each iteration re-arms a jittered
+// timer rather than a fixed ticker (see jitterInterval).
 func (rt *Router) probeLoop(interval time.Duration) {
-	t := time.NewTicker(interval)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	t := time.NewTimer(jitterInterval(interval, rng))
 	defer t.Stop()
 	for {
 		select {
 		case <-rt.stop:
 			return
 		case <-t.C:
+			t.Reset(jitterInterval(interval, rng))
 			for _, g := range rt.groups {
 				for _, r := range g.replicas {
 					if !r.ejected.Load() {

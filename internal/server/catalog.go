@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"strconv"
@@ -64,9 +65,12 @@ type Manifest struct {
 
 // servedIndex is the type-erased face of one loaded index: JSON-encoded
 // queries in, neighbors out. The HTTP layer never sees the object type.
+// ctx carries request cancellation into the search paths: a canceled
+// request stops scattering across tiers (mutable entries) and stops the
+// batch fan-out pulling further queries.
 type servedIndex interface {
-	search(raw json.RawMessage, k int) ([]topk.Neighbor, error)
-	searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error)
+	search(ctx context.Context, raw json.RawMessage, k int) ([]topk.Neighbor, error)
+	searchBatch(ctx context.Context, raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error)
 	// applyParams sets per-request method params and returns the restore
 	// function for the previous settings. Callers must hold the
 	// snapshot's param lock exclusively around apply+search+restore.
@@ -104,15 +108,24 @@ func (t *typedIndex[T]) globalize(ns []topk.Neighbor) []topk.Neighbor {
 	return ns
 }
 
-func (t *typedIndex[T]) search(raw json.RawMessage, k int) ([]topk.Neighbor, error) {
+func (t *typedIndex[T]) search(ctx context.Context, raw json.RawMessage, k int) ([]topk.Neighbor, error) {
 	q, err := t.dec(raw)
 	if err != nil {
 		return nil, badRequestf("query: %v", err)
 	}
-	return t.globalize(t.searchIndex().Search(q, k)), nil
+	if t.tree != nil {
+		// The tiered scatter checks ctx between components, so a canceled
+		// single-query request stops before paying for the next tier.
+		nbs, err := t.tree.SearchAppendCtx(ctx, nil, t.idx, q, k)
+		if err != nil {
+			return nil, err
+		}
+		return t.globalize(nbs), nil
+	}
+	return t.globalize(t.idx.Search(q, k)), nil
 }
 
-func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
+func (t *typedIndex[T]) searchBatch(ctx context.Context, raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
 	qs := make([]T, len(raws))
 	for i, raw := range raws {
 		q, err := t.dec(raw)
@@ -121,7 +134,10 @@ func (t *typedIndex[T]) searchBatch(raws []json.RawMessage, k int, pool engine.P
 		}
 		qs[i] = q
 	}
-	outs := engine.SearchBatchPool(pool, t.searchIndex(), qs, k)
+	outs, err := engine.SearchBatchPoolCtx(ctx, pool, t.searchIndex(), qs, k)
+	if err != nil {
+		return nil, err
+	}
 	for _, ns := range outs {
 		t.globalize(ns)
 	}
@@ -221,6 +237,7 @@ func loadTyped[T any](e *entry, hdr codec.Header, man Manifest, data []T,
 	if man.Mutable {
 		tree, err := openTree(e, man, data, lsm.Options[T]{
 			Dir:   strings.TrimSuffix(path, persist.Ext) + ".tiers",
+			FS:    e.fs,
 			Space: sp,
 			// Added objects arrive as JSON in the same encoding queries
 			// use; the tree stores those raw bytes (WAL + tier segments)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/persist"
+	"repro/internal/vfs"
 )
 
 // Registry is the named-index set a server process holds: one entry per
@@ -44,6 +45,10 @@ type entry struct {
 	// check and snapshot swap (see internal/server/mutable.go).
 	tree     servedTree
 	ingestMu sync.RWMutex
+	// fs is the filesystem the entry's mutable tree does its disk I/O
+	// through (vfs.OS in production; a faultfs in fault drills). Immutable
+	// snapshot loading reads via package persist directly and is unaffected.
+	fs vfs.FS
 }
 
 // snapshot is one loaded generation of an entry. A reload builds a complete
@@ -75,6 +80,18 @@ type counters struct {
 // whole set — a daemon either serves everything it was pointed at or
 // refuses to start.
 func OpenDir(dir string) (*Registry, error) {
+	return OpenDirFS(dir, nil)
+}
+
+// OpenDirFS is OpenDir with an explicit storage filesystem for the mutable
+// tier: every entry's LSM tree (WAL, segments, manifest) does its disk I/O
+// through storage. nil means the real OS filesystem. The fault-injection
+// harness (internal/faultfs, scripts/fault_smoke.sh) is the intended
+// non-nil caller.
+func OpenDirFS(dir string, storage vfs.FS) (*Registry, error) {
+	if storage == nil {
+		storage = vfs.OS{}
+	}
 	des, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -89,6 +106,7 @@ func OpenDir(dir string) (*Registry, error) {
 			name:     name,
 			path:     filepath.Join(dir, de.Name()),
 			manifest: filepath.Join(dir, name+".json"),
+			fs:       storage,
 		}
 		snap, err := loadSnapshot(e)
 		if err != nil {

@@ -261,16 +261,39 @@ type indexStatus struct {
 // start half-loaded, so unreadiness indicates a bug rather than a boot
 // phase today — the probe exists so that contract is observable, and stays
 // correct if lazy loading ever arrives.)
+//
+// Degraded storage — a poisoned WAL, a read-only tree, quarantined tiers —
+// does NOT fail the probe: searches still answer, and ejecting a replica
+// over a write-path fault would turn a storage incident into a read outage.
+// Instead the probe stays 200 but switches from the bare "ok" body to a
+// JSON body naming each degraded index and why, so operators and smoke
+// tests can observe the state while routers (which gate on the status code
+// alone) keep the replica in rotation.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	var notReady []string
+	degraded := map[string][]string{}
 	for _, name := range s.reg.Names() {
-		if e := s.reg.get(name); e == nil || e.snap.Load() == nil {
+		e := s.reg.get(name)
+		if e == nil || e.snap.Load() == nil {
 			notReady = append(notReady, name)
+			continue
+		}
+		if e.tree != nil {
+			st := e.tree.treeStatus()
+			if reasons := st.Degraded(); len(reasons) > 0 {
+				degraded[name] = reasons
+			}
 		}
 	}
 	if len(notReady) > 0 {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"ready": false, "not_loaded": notReady,
+		})
+		return
+	}
+	if len(degraded) > 0 {
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"ready": true, "degraded": degraded,
 		})
 		return
 	}
@@ -385,14 +408,22 @@ func (s *Server) mutableEntry(w http.ResponseWriter, r *http.Request) (e *entry,
 }
 
 // writeWriteError maps a tree write failure to a status: request-shaped
-// failures (bad payload, unknown id) are the client's 400, anything else is
-// a storage-side 500.
+// failures (bad payload, unknown id) are the client's 400; a poisoned WAL
+// is 503 (the replica must be restarted or drained — retrying here cannot
+// help); a read-only tree is 507 Insufficient Storage (the seal/compact
+// path hit a storage failure, canonically ENOSPC); anything else is a
+// storage-side 500.
 func (s *Server) writeWriteError(w http.ResponseWriter, err error) {
-	if errors.Is(err, lsm.ErrInvalid) {
+	switch {
+	case errors.Is(err, lsm.ErrInvalid):
 		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
+	case errors.Is(err, lsm.ErrPoisoned):
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, lsm.ErrReadOnly):
+		s.writeError(w, http.StatusInsufficientStorage, err.Error())
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
 	}
-	s.writeError(w, http.StatusInternalServerError, err.Error())
 }
 
 // handleAdd ingests objects: body {"object": <obj>} or {"objects": [...]},
@@ -520,7 +551,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		req.K = n
 	}
 	resp, err := runDetached(ctx, s.log, func() (any, error) {
-		return s.execute(snap, name, req)
+		return s.execute(ctx, snap, name, req)
 	})
 	if err != nil {
 		e.stats.failures.Add(1)
@@ -563,8 +594,11 @@ func decodeSearchRequest(r *http.Request) (searchRequest, error) {
 	return req, nil
 }
 
-// execute answers one validated request on one snapshot.
-func (s *Server) execute(snap *snapshot, name string, req searchRequest) (any, error) {
+// execute answers one validated request on one snapshot. ctx cancellation
+// is cooperative: the tiered and batch search paths check it between
+// components/queries, so a timed-out request releases its workers promptly
+// even while runDetached has already abandoned it.
+func (s *Server) execute(ctx context.Context, snap *snapshot, name string, req searchRequest) (any, error) {
 	if len(req.Params) > 0 {
 		// Per-request params mutate the index's knobs: exclusive lock,
 		// apply, answer, restore. Plain searches hold the lock shared.
@@ -581,13 +615,13 @@ func (s *Server) execute(snap *snapshot, name string, req searchRequest) (any, e
 	}
 
 	if req.Query != nil {
-		nbs, err := snap.served.search(req.Query, req.K)
+		nbs, err := snap.served.search(ctx, req.Query, req.K)
 		if err != nil {
 			return nil, err
 		}
 		return &singleResponse{Index: name, K: req.K, Results: toJSON(nbs)}, nil
 	}
-	outs, err := snap.served.searchBatch(req.Queries, req.K, s.pool)
+	outs, err := snap.served.searchBatch(ctx, req.Queries, req.K, s.pool)
 	if err != nil {
 		return nil, err
 	}

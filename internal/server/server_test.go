@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -325,11 +326,11 @@ func TestServedPerRequestParams(t *testing.T) {
 // panicServed stands in for an index whose Search has a bug.
 type panicServed struct{}
 
-func (panicServed) search(json.RawMessage, int) ([]topk.Neighbor, error) {
+func (panicServed) search(context.Context, json.RawMessage, int) ([]topk.Neighbor, error) {
 	panic("search exploded")
 }
 
-func (panicServed) searchBatch(raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
+func (panicServed) searchBatch(_ context.Context, raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
 	// Through the real worker pool, so the test also covers engine panic
 	// propagation surfacing as an HTTP status.
 	out := make([][]topk.Neighbor, len(raws))

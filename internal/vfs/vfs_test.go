@@ -1,0 +1,50 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestIgnorableSyncDirError pins the "swallow only unsupported-here" policy:
+// EINVAL and ENOTSUP (filesystems that reject directory fsync) are
+// ignorable, including when wrapped the way os returns them; EIO and
+// friends — real storage failures — are not.
+func TestIgnorableSyncDirError(t *testing.T) {
+	for _, err := range []error{
+		syscall.EINVAL,
+		syscall.ENOTSUP,
+		fmt.Errorf("sync: %w", syscall.EINVAL),
+		&os.PathError{Op: "sync", Path: "/d", Err: syscall.ENOTSUP},
+	} {
+		if !IgnorableSyncDirError(err) {
+			t.Errorf("IgnorableSyncDirError(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		syscall.EIO,
+		syscall.ENOSPC,
+		syscall.EBADF,
+		os.ErrClosed,
+		fmt.Errorf("sync: %w", syscall.EIO),
+	} {
+		if IgnorableSyncDirError(err) {
+			t.Errorf("IgnorableSyncDirError(%v) = true; a real I/O failure must propagate", err)
+		}
+	}
+}
+
+// TestOSSyncDir: syncing a real directory succeeds (possibly via the
+// ignorable-error path on exotic filesystems), and a missing directory
+// reports the open failure.
+func TestOSSyncDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := (OS{}).SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir(%s) = %v", dir, err)
+	}
+	if err := (OS{}).SyncDir(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("SyncDir of a missing directory reported success")
+	}
+}
