@@ -48,10 +48,12 @@ test:
 # simultaneous queries), the serving layer (concurrent clients + hot-reload
 # hammering), the scatter-gather router (per-query replica-group fan-out,
 # failover, ejection + background re-admission probing, hedged HTTP
-# attempts), the rollout driver (reloads racing live router traffic), and
-# the mutable LSM tier (writers/flushes/compaction racing searches).
+# attempts), the rollout driver (reloads racing live router traffic), the
+# mutable LSM tier (writers/flushes/compaction racing searches), and the
+# metrics core (lock-free counters/histograms under concurrent
+# Record/Snapshot).
 race:
-	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/lsm/... ./internal/server/... ./internal/router/... ./internal/rollout/...
+	$(GO) test -race -short -shuffle=on ./internal/engine/... ./internal/knngraph/... ./internal/indextest/... ./internal/lsm/... ./internal/server/... ./internal/router/... ./internal/rollout/... ./internal/obs/...
 
 # Short coverage-guided fuzz of the index-file decoder: corrupt blobs must
 # error, never panic or over-allocate. The checked-in seed corpus lives in
@@ -61,11 +63,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzLoad -fuzztime 30s ./internal/codec/
 
 # Query hot-path microbenchmarks (-benchmem) + the machine-readable
-# BENCH_PR8.json trajectory point (per method: ns/op, B/op, allocs/op, QPS;
-# napp-sharded3 tracks the scatter-gather router against unsharded napp).
-# bench.sh also diffs the point against the latest previous committed
-# BENCH_PR*.json (scripts/benchcheck -prev): dropped methods always fail,
-# >25% ns/op regressions fail on the same machine identity.
+# BENCH_PR10.json trajectory point (per method: ns/op, B/op, allocs/op,
+# QPS; napp-sharded3 tracks the scatter-gather router against unsharded
+# napp). bench.sh also diffs the point against the latest previous
+# committed BENCH_PR*.json (scripts/benchcheck -prev): dropped methods
+# always fail; on the same machine identity, >25% ns/op regressions,
+# B/op / allocs/op growth beyond -max-alloc-regress (default: none), and
+# any previously-zero allocation row moving off zero also fail.
 # Override the output with BENCH_OUT=path.
 bench:
 	./scripts/bench.sh
@@ -90,7 +94,8 @@ bench-engine:
 # reload, and require a graceful SIGTERM shutdown.
 serve-smoke:
 	$(GO) build -o bin/permserve ./cmd/permserve
-	./scripts/serve_smoke.sh bin/permserve
+	$(GO) build -o bin/metricscheck ./scripts/metricscheck
+	./scripts/serve_smoke.sh bin/permserve bin/metricscheck
 
 # End-to-end smoke of the sharded tier: shardsplit a corpus, boot one
 # permserve per shard plus an unsharded baseline, front them with
@@ -100,6 +105,7 @@ shard-smoke:
 	$(GO) build -o bin/permserve ./cmd/permserve
 	$(GO) build -o bin/permrouter ./cmd/permrouter
 	$(GO) build -o bin/shardsplit ./cmd/shardsplit
+	$(GO) build -o bin/metricscheck ./scripts/metricscheck
 	./scripts/shard_smoke.sh bin
 
 # End-to-end smoke of the replicated tier + rollout control plane: a

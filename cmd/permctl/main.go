@@ -39,6 +39,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rollout"
 	"repro/internal/shard"
 )
@@ -63,9 +64,10 @@ func usage() {
 	os.Exit(2)
 }
 
-// cmdStatus prints the fleet's health and per-set generations, one row per
-// replica — the human-readable view of the generation matrix the router
-// serves on /v1/indexes.
+// cmdStatus prints the fleet's health, per-set generations and search
+// latency quantiles, one row per replica — the human-readable view of the
+// generation matrix the router serves on /v1/indexes, joined with each
+// replica's GET /metrics latency histogram.
 func cmdStatus(args []string) {
 	fs := flag.NewFlagSet("permctl status", flag.ExitOnError)
 	topoPath := fs.String("topology", "", "permsearch-topology/v1 fleet file (required)")
@@ -83,7 +85,7 @@ func cmdStatus(args []string) {
 
 	client := &http.Client{Timeout: *timeout}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "SHARD\tREPLICA\tURL\tHEALTH\tSET\tGENERATION\tN")
+	fmt.Fprintln(w, "SHARD\tREPLICA\tURL\tHEALTH\tSET\tGENERATION\tN\tREQS\tP50\tP95\tP99")
 	unhealthy := 0
 	for s, group := range topo.Shards {
 		for r, rep := range group {
@@ -94,14 +96,18 @@ func cmdStatus(args []string) {
 			}
 			rows, err := listIndexes(client, rep.URL)
 			if err != nil {
-				fmt.Fprintf(w, "%d\t%d\t%s\t%s\t-\t-\t-\n", s, r, rep.URL, health)
+				fmt.Fprintf(w, "%d\t%d\t%s\t%s\t-\t-\t-\t-\t-\t-\t-\n", s, r, rep.URL, health)
 				continue
 			}
+			tm := scrapeMetrics(client, rep.URL)
 			for _, row := range rows {
 				if *set != "" && row.Name != *set {
 					continue
 				}
-				fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\t%d\t%d\n", s, r, rep.URL, health, row.Name, row.Generation, row.N)
+				reqs, p50, p95, p99 := latencyCells(tm, row.Name)
+				fmt.Fprintf(w, "%d\t%d\t%s\t%s\t%s\t%d\t%d\t%s\t%s\t%s\t%s\n",
+					s, r, rep.URL, health, row.Name, row.Generation, row.N,
+					reqs, p50, p95, p99)
 			}
 		}
 	}
@@ -170,6 +176,54 @@ func cmdRollout(args []string) {
 	if err != nil {
 		log.Fatalf("permctl: %v", err)
 	}
+}
+
+// scrapeMetrics fetches and parses one replica's GET /metrics; nil when the
+// replica is unreachable or predates the endpoint (the status table then
+// shows "-" latency cells instead of failing the whole listing).
+func scrapeMetrics(client *http.Client, base string) *obs.TextMetrics {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	tm, err := obs.ParseText(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil
+	}
+	return tm
+}
+
+// latencyCells renders one index's request count and p50/p95/p99 search
+// latency from the scraped histogram.
+func latencyCells(tm *obs.TextMetrics, name string) (reqs, p50, p95, p99 string) {
+	reqs, p50, p95, p99 = "-", "-", "-", "-"
+	if tm == nil {
+		return
+	}
+	match := map[string]string{"index": name}
+	quantile := func(q float64) (string, int64, bool) {
+		v, count, ok := tm.Quantile("permserve_search_latency_seconds", match, q)
+		if !ok || count == 0 {
+			return "-", count, ok
+		}
+		return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String(), count, true
+	}
+	s50, count, ok := quantile(0.50)
+	if !ok {
+		return
+	}
+	reqs = fmt.Sprintf("%d", count)
+	if count == 0 {
+		return
+	}
+	s95, _, _ := quantile(0.95)
+	s99, _, _ := quantile(0.99)
+	return reqs, s50, s95, s99
 }
 
 func probe(client *http.Client, url string) error {

@@ -14,6 +14,7 @@
 //
 //	curl localhost:8080/healthz            # ready only when every shard has a healthy replica
 //	curl localhost:8080/statusz            # per-replica QPS/latency/error/hedge/ejection counters
+//	curl localhost:8080/metrics            # Prometheus text: per-index, per-shard, per-replica families
 //	curl localhost:8080/v1/indexes         # merged view (total n, per-replica generation matrix)
 //	curl -d '{"query": "ACGTACGTAC", "k": 3}' localhost:8080/v1/indexes/dna/search
 //
@@ -49,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rollout"
 	"repro/internal/router"
 )
@@ -79,6 +81,7 @@ func main() {
 		HedgeDelay:    *hedgeDelay,
 		EjectAfter:    *ejectAfter,
 		ProbeInterval: *probeInterval,
+		Metrics:       obs.Default(),
 	})
 	if err != nil {
 		log.Fatalf("permrouter: %v", err)

@@ -33,6 +33,14 @@
 // production: profile with
 //
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+//
+// -mutex-profile-fraction and -block-profile-rate turn on the runtime's
+// contention profilers (mutex and blocking profiles under /debug/pprof/),
+// both off by default because sampling costs the hot path. GET /metrics
+// serves counters, per-stage timing attribution and latency histograms in
+// Prometheus text format (see README "Observability");
+// -slow-query-threshold logs a rate-limited JSON line, with the per-stage
+// breakdown, for every request slower than the threshold.
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,6 +63,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faultfs"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/seqscan"
 	"repro/internal/server"
@@ -68,6 +78,10 @@ func main() {
 	workers := flag.Int("workers", 0, "goroutines per batch request (<= 0: GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request execution budget (0: none)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof profiling endpoints (empty: disabled); keep it on a loopback or otherwise private port")
+	mutexFraction := flag.Int("mutex-profile-fraction", 0, "sample 1/n of mutex contention events for /debug/pprof/mutex (0: disabled)")
+	blockRate := flag.Int("block-profile-rate", 0, "sample blocking events lasting >= n ns for /debug/pprof/block (0: disabled)")
+	slowThreshold := flag.Duration("slow-query-threshold", 0, "log a JSON slow_query line, with per-stage timing, for requests slower than this (0: disabled)")
+	slowEvery := flag.Duration("slow-query-every", time.Second, "rate limit between slow_query lines")
 	writeDemo := flag.Bool("write-demo", false, "write a small demo index set into -dir and exit")
 	flag.Parse()
 
@@ -83,6 +97,14 @@ func main() {
 		return
 	}
 
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+		log.Printf("permserve: mutex profiling on (fraction 1/%d)", *mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+		log.Printf("permserve: block profiling on (rate %dns)", *blockRate)
+	}
 	if *pprofAddr != "" {
 		// A dedicated mux on a separate listener: profiling never shares a
 		// port with the serving API, so exposing one cannot expose the
@@ -127,7 +149,13 @@ func main() {
 	for _, name := range reg.Names() {
 		log.Printf("permserve: serving index %q", name)
 	}
-	srv := server.New(reg, server.Options{Workers: *workers, Timeout: *timeout})
+	srv := server.New(reg, server.Options{
+		Workers:            *workers,
+		Timeout:            *timeout,
+		Metrics:            obs.Default(),
+		SlowQueryThreshold: *slowThreshold,
+		SlowQueryEvery:     *slowEvery,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

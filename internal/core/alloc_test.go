@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/space"
 	"repro/internal/topk"
 )
@@ -93,6 +94,56 @@ func TestSearchAppendZeroAllocs(t *testing.T) {
 				qi++
 			}); avg != 0 {
 				t.Errorf("warm SearchAppend allocates %v times per run, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestSearchAppendZeroAllocsTraced asserts the observability hard
+// constraint: attaching a QueryTrace to a warm Searcher (stage counters +
+// stage timing on every query) must not add a single allocation — and the
+// trace must actually be populated, so the guard cannot pass by tracing
+// nothing.
+func TestSearchAppendZeroAllocsTraced(t *testing.T) {
+	const k = 10
+	queries, kinds := allocKinds(t)
+	for _, kc := range kinds {
+		t.Run(kc.kind, func(t *testing.T) {
+			s := kc.index.(index.SearcherProvider[[]float32]).NewSearcher()
+			tr, ok := s.(obs.Traceable)
+			if !ok {
+				t.Fatalf("%s searcher does not implement obs.Traceable", kc.kind)
+			}
+			var trace obs.QueryTrace
+			tr.SetTrace(&trace)
+			dst := make([]topk.Neighbor, 0, k)
+			for _, q := range queries {
+				dst = s.SearchAppend(dst[:0], q, k)
+			}
+			qi := 0
+			if avg := testing.AllocsPerRun(50, func() {
+				trace.Reset()
+				dst = s.SearchAppend(dst[:0], queries[qi%len(queries)], k)
+				qi++
+			}); avg != 0 {
+				t.Errorf("warm traced SearchAppend allocates %v times per run, want 0", avg)
+			}
+			if trace.FilterCandidates == 0 {
+				t.Errorf("trace.FilterCandidates = 0 after a traced query")
+			}
+			if trace.RefineDistances == 0 {
+				t.Errorf("trace.RefineDistances = 0 after a traced query")
+			}
+			if trace.RefineNs <= 0 {
+				t.Errorf("trace.RefineNs = %d after a traced query", trace.RefineNs)
+			}
+			// Detaching must stop writes: a stale-trace bug here would be a
+			// data race under pooled reuse.
+			tr.SetTrace(nil)
+			before := trace
+			dst = s.SearchAppend(dst[:0], queries[0], k)
+			if trace != before {
+				t.Errorf("trace mutated after SetTrace(nil): %+v -> %+v", before, trace)
 			}
 		})
 	}

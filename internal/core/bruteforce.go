@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -140,7 +142,7 @@ func (f *BruteForceFilter[T]) Search(query T, k int) []topk.Neighbor {
 func (f *BruteForceFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := f.scratch.Get()
 	defer f.scratch.Put(s)
-	return f.search(s, dst, query, k)
+	return f.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -149,10 +151,15 @@ func (f *BruteForceFilter[T]) NewSearcher() index.Searcher[T] {
 }
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
-// and Searchers.
-func (f *BruteForceFilter[T]) search(s *bfScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+// and Searchers. When tr is non-nil the filter scan, candidate selection
+// and refinement are attributed to it.
+func (f *BruteForceFilter[T]) search(s *bfScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qperm := f.pivots.PermutationWith(&s.perm, query)
 	m := f.pivots.M()
@@ -167,6 +174,11 @@ func (f *BruteForceFilter[T]) search(s *bfScratch, dst []topk.Neighbor, query T,
 			Dist: f.opts.Dist.distance(qperm, f.perms[i*m:(i+1)*m]),
 		}
 	}
+	if tr != nil {
+		tr.FilterCandidates += int64(n)
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	var best []topk.Neighbor
 	if f.opts.UseHeap {
 		// Ablation-only path; SelectKHeap allocates its queue per call.
@@ -174,7 +186,10 @@ func (f *BruteForceFilter[T]) search(s *bfScratch, dst []topk.Neighbor, query T,
 	} else {
 		best = topk.SelectK(cands, g)
 	}
-	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst, tr)
 }
 
 // BinFilterOptions configures NewBinFilter.
@@ -286,7 +301,7 @@ func (f *BinFilter[T]) Search(query T, k int) []topk.Neighbor {
 func (f *BinFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := f.scratch.Get()
 	defer f.scratch.Put(s)
-	return f.search(s, dst, query, k)
+	return f.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -296,9 +311,13 @@ func (f *BinFilter[T]) NewSearcher() index.Searcher[T] {
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (f *BinFilter[T]) search(s *binScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (f *BinFilter[T]) search(s *binScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qperm := f.pivots.PermutationWith(&s.perm, query)
 	s.qbits = permutation.Binarize(qperm, int32(f.opts.Threshold), s.qbits)
@@ -312,6 +331,14 @@ func (f *BinFilter[T]) search(s *binScratch, dst []topk.Neighbor, query T, k int
 		h := permutation.Hamming(s.qbits, f.bits[i*w:(i+1)*w])
 		cands[i] = topk.Neighbor{ID: uint32(i), Dist: float64(h)}
 	}
+	if tr != nil {
+		tr.FilterCandidates += int64(n)
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	best := topk.SelectK(cands, g)
-	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst, tr)
 }

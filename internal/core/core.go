@@ -14,9 +14,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -77,22 +79,52 @@ func gammaCount(frac float64, n, k int) int {
 //
 // Ties at the k boundary are broken by candidate order (first kept wins),
 // so every index must feed candidates in a deterministic order.
-func refineInto[T any](sp space.Space[T], data []T, query T, cands []uint32, k int, q *topk.Queue, dst []topk.Neighbor) []topk.Neighbor {
+// Both refine helpers take an optional *obs.QueryTrace: when non-nil they
+// attribute the exact-distance loop to the refine stage and the final
+// ordered copy-out to the merge stage (one time.Now pair per stage; no
+// per-candidate bookkeeping, so the traced path stays allocation-free).
+func refineInto[T any](sp space.Space[T], data []T, query T, cands []uint32, k int, q *topk.Queue, dst []topk.Neighbor, tr *obs.QueryTrace) []topk.Neighbor {
+	var t0 time.Time
+	if tr != nil {
+		tr.RefineDistances += int64(len(cands))
+		t0 = time.Now()
+	}
 	q.Reset(k)
 	for _, id := range cands {
 		q.Push(id, sp.Distance(data[id], query))
 	}
-	return q.AppendResults(dst)
+	if tr != nil {
+		obs.AddSince(&tr.RefineNs, t0)
+		t0 = time.Now()
+	}
+	dst = q.AppendResults(dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return dst
 }
 
 // refineTopInto is refineInto over pre-scored candidates (the output of
 // topk.SelectK); only the IDs are consumed.
-func refineTopInto[T any](sp space.Space[T], data []T, query T, cands []topk.Neighbor, k int, q *topk.Queue, dst []topk.Neighbor) []topk.Neighbor {
+func refineTopInto[T any](sp space.Space[T], data []T, query T, cands []topk.Neighbor, k int, q *topk.Queue, dst []topk.Neighbor, tr *obs.QueryTrace) []topk.Neighbor {
+	var t0 time.Time
+	if tr != nil {
+		tr.RefineDistances += int64(len(cands))
+		t0 = time.Now()
+	}
 	q.Reset(k)
 	for _, c := range cands {
 		q.Push(c.ID, sp.Distance(data[c.ID], query))
 	}
-	return q.AppendResults(dst)
+	if tr != nil {
+		obs.AddSince(&tr.RefineNs, t0)
+		t0 = time.Now()
+	}
+	dst = q.AppendResults(dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return dst
 }
 
 // searcher adapts a scratch-threaded search function to index.Searcher: it
@@ -110,14 +142,25 @@ func refineTopInto[T any](sp space.Space[T], data []T, query T, cands []topk.Nei
 // self-healing instead of an out-of-range or silently-missing-ids hazard;
 // the cost is one round of re-warming allocations per mutation, and zero
 // extra allocations while the index is unmutated.
+//
+// A searcher also carries an optional *obs.QueryTrace (set via SetTrace,
+// the obs.Traceable interface): when attached, the search fn records the
+// per-stage breakdown into it. The trace pointer is owner-managed state
+// like the scratch itself — callers holding pooled searchers must SetTrace
+// before every query (nil for untraced) so a pointer from a previous query
+// never receives writes.
 type searcher[T, S any] struct {
 	scratch S
-	fn      func(s *S, dst []topk.Neighbor, query T, k int) []topk.Neighbor
+	tr      *obs.QueryTrace
+	fn      func(s *S, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor
 	// mutSeq, when non-nil, reads the owning index's mutation sequence
 	// number; minted is the value the current scratch was built under.
 	mutSeq func() uint64
 	minted uint64
 }
+
+// SetTrace implements obs.Traceable.
+func (w *searcher[T, S]) SetTrace(tr *obs.QueryTrace) { w.tr = tr }
 
 // refresh re-mints the scratch state if the owning index has mutated since
 // the scratch was built. Mutation and search may not run concurrently (the
@@ -136,13 +179,13 @@ func (w *searcher[T, S]) refresh() {
 // Search implements index.Searcher.
 func (w *searcher[T, S]) Search(query T, k int) []topk.Neighbor {
 	w.refresh()
-	return w.fn(&w.scratch, nil, query, k)
+	return w.fn(&w.scratch, w.tr, nil, query, k)
 }
 
 // SearchAppend implements index.Searcher.
 func (w *searcher[T, S]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	w.refresh()
-	return w.fn(&w.scratch, dst, query, k)
+	return w.fn(&w.scratch, w.tr, dst, query, k)
 }
 
 // compile-time interface checks: every core index mints searchers.

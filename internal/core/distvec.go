@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -94,7 +96,7 @@ func (f *DistVecFilter[T]) Search(query T, k int) []topk.Neighbor {
 func (f *DistVecFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := f.scratch.Get()
 	defer f.scratch.Put(s)
-	return f.search(s, dst, query, k)
+	return f.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -104,9 +106,13 @@ func (f *DistVecFilter[T]) NewSearcher() index.Searcher[T] {
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (f *DistVecFilter[T]) search(s *dvScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (f *DistVecFilter[T]) search(s *dvScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	m := f.pivots.M()
 	s.qd = f.pivots.Distances(query, s.qd)
@@ -125,6 +131,14 @@ func (f *DistVecFilter[T]) search(s *dvScratch, dst []topk.Neighbor, query T, k 
 			Dist: vecmath.L2Sqr(qv, f.vecs[i*m:(i+1)*m]),
 		}
 	}
+	if tr != nil {
+		tr.FilterCandidates += int64(n)
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	best := topk.SelectK(cands, g)
-	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst, tr)
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -166,7 +168,7 @@ func (mf *MIFile[T]) Search(query T, k int) []topk.Neighbor {
 func (mf *MIFile[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := mf.scratch.Get()
 	defer mf.scratch.Put(s)
-	return mf.search(s, dst, query, k)
+	return mf.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -176,9 +178,13 @@ func (mf *MIFile[T]) NewSearcher() index.Searcher[T] {
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (mf *MIFile[T]) search(s *miScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (mf *MIFile[T]) search(s *miScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qorder := mf.pivots.OrderWith(&s.perm, query)
 	m := int32(mf.opts.NumPivots)
@@ -219,6 +225,14 @@ func (mf *MIFile[T]) search(s *miScratch, dst []topk.Neighbor, query T, k int) [
 		cands = append(cands, topk.Neighbor{ID: id, Dist: float64(int32(ms)*m - s.gains.Get(id))})
 	}
 	s.cands = cands
+	if tr != nil {
+		tr.FilterCandidates += int64(len(touched))
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	best := topk.SelectK(cands, g)
-	return refineTopInto(mf.sp, mf.data, query, best, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineTopInto(mf.sp, mf.data, query, best, k, &s.queue, dst, tr)
 }

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -181,7 +183,7 @@ func (na *NAPP[T]) Search(query T, k int) []topk.Neighbor {
 func (na *NAPP[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := na.scratch.Get()
 	defer na.scratch.Put(s)
-	return na.search(s, dst, query, k)
+	return na.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider. NAPP is mutable
@@ -204,9 +206,13 @@ func (na *NAPP[T]) MutationSeq() uint64 { return na.mutSeq }
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (na *NAPP[T]) search(s *nappScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (na *NAPP[T]) search(s *nappScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qorder := na.pivots.OrderWith(&s.perm, query)
 	ms := na.opts.NumPivotSearch
@@ -233,6 +239,11 @@ func (na *NAPP[T]) search(s *nappScratch, dst []topk.Neighbor, query T, k int) [
 		}
 		cands = kept
 	}
+	if tr != nil {
+		tr.FilterCandidates += int64(len(cands))
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	if max := na.opts.MaxCandidates; max > 0 && len(cands) > max {
 		// Additional filtering for expensive distances: prefer
 		// candidates sharing more pivots with the query, then smaller
@@ -251,5 +262,8 @@ func (na *NAPP[T]) search(s *nappScratch, dst []topk.Neighbor, query T, k int) [
 		}
 	}
 	s.cands = cands
-	return refineInto(na.sp, na.data, query, cands, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineInto(na.sp, na.data, query, cands, k, &s.queue, dst, tr)
 }

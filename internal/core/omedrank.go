@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -147,7 +149,7 @@ func (om *OMEDRANK[T]) Search(query T, k int) []topk.Neighbor {
 func (om *OMEDRANK[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := om.scratch.Get()
 	defer om.scratch.Put(s)
-	return om.search(s, dst, query, k)
+	return om.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -157,9 +159,13 @@ func (om *OMEDRANK[T]) NewSearcher() index.Searcher[T] {
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (om *OMEDRANK[T]) search(s *omedScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (om *OMEDRANK[T]) search(s *omedScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	n := len(om.data)
 	h := len(om.voters)
@@ -239,5 +245,9 @@ func (om *OMEDRANK[T]) search(s *omedScratch, dst []topk.Neighbor, query T, k in
 		}
 	}
 	s.cands = cands
-	return refineInto(om.sp, om.data, query, cands, k, &s.queue, dst)
+	if tr != nil {
+		tr.FilterCandidates += int64(len(cands))
+		obs.AddSince(&tr.FilterNs, t0)
+	}
+	return refineInto(om.sp, om.data, query, cands, k, &s.queue, dst, tr)
 }

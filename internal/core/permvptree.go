@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -125,7 +127,7 @@ func (pt *PermVPTree[T]) Search(query T, k int) []topk.Neighbor {
 func (pt *PermVPTree[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := pt.scratch.Get()
 	defer pt.scratch.Put(s)
-	return pt.search(s, dst, query, k)
+	return pt.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -134,10 +136,16 @@ func (pt *PermVPTree[T]) NewSearcher() index.Searcher[T] {
 }
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
-// and Searchers.
-func (pt *PermVPTree[T]) search(s *pvtScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+// and Searchers. The filter stage here includes the VP-tree traversal
+// (which allocates internally — the tree predates the scratch regime and
+// is outside the zero-alloc guards).
+func (pt *PermVPTree[T]) search(s *pvtScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qperm := pt.pivots.PermutationWith(&s.perm, query)
 	g := gammaCount(pt.opts.Gamma, len(pt.data), k)
@@ -147,5 +155,9 @@ func (pt *PermVPTree[T]) search(s *pvtScratch, dst []topk.Neighbor, query T, k i
 		ids = append(ids, c.ID)
 	}
 	s.ids = ids
-	return refineInto(pt.sp, pt.data, query, ids, k, &s.queue, dst)
+	if tr != nil {
+		tr.FilterCandidates += int64(len(ids))
+		obs.AddSince(&tr.FilterNs, t0)
+	}
+	return refineInto(pt.sp, pt.data, query, ids, k, &s.queue, dst, tr)
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -184,7 +186,7 @@ func (pp *PPIndex[T]) Search(query T, k int) []topk.Neighbor {
 func (pp *PPIndex[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := pp.scratch.Get()
 	defer pp.scratch.Put(s)
-	return pp.search(s, dst, query, k)
+	return pp.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -194,9 +196,13 @@ func (pp *PPIndex[T]) NewSearcher() index.Searcher[T] {
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (pp *PPIndex[T]) search(s *ppScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (pp *PPIndex[T]) search(s *ppScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	g := gammaCount(pp.opts.Gamma, len(pp.data), k)
 	s.seen.Begin(len(pp.data))
@@ -231,9 +237,17 @@ func (pp *PPIndex[T]) search(s *ppScratch, dst []topk.Neighbor, query T, k int) 
 		}
 	}
 	s.ids = ids
+	if tr != nil {
+		tr.FilterCandidates += int64(len(ids))
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	// collect walks child maps, so the candidate order above is not
 	// deterministic; sort before refining so ties at the k boundary are
 	// always broken the same way (smallest id wins, matching topk.ByDist).
 	slices.Sort(ids)
-	return refineInto(pp.sp, pp.data, query, ids, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineInto(pp.sp, pp.data, query, ids, k, &s.queue, dst, tr)
 }

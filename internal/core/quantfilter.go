@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/permutation"
 	"repro/internal/scratch"
 	"repro/internal/space"
@@ -129,7 +131,7 @@ func (f *QuantFilter[T]) Search(query T, k int) []topk.Neighbor {
 func (f *QuantFilter[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	s := f.scratch.Get()
 	defer f.scratch.Put(s)
-	return f.search(s, dst, query, k)
+	return f.search(s, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider.
@@ -139,9 +141,13 @@ func (f *QuantFilter[T]) NewSearcher() index.Searcher[T] {
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
 // and Searchers.
-func (f *QuantFilter[T]) search(s *quantScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+func (f *QuantFilter[T]) search(s *quantScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	qperm := f.pivots.PermutationWith(&s.perm, query)
 	s.qsig = permutation.Quantize(qperm, f.opts.PrefixLen, s.qsig)
@@ -166,6 +172,14 @@ func (f *QuantFilter[T]) search(s *quantScratch, dst []topk.Neighbor, query T, k
 			cands[i] = topk.Neighbor{ID: uint32(i), Dist: float64(d)}
 		}
 	}
+	if tr != nil {
+		tr.FilterCandidates += int64(n)
+		obs.AddSince(&tr.FilterNs, t0)
+		t0 = time.Now()
+	}
 	best := topk.SelectK(cands, g)
-	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return refineTopInto(f.sp, f.data, query, best, k, &s.queue, dst, tr)
 }

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -231,6 +232,18 @@ func SearchBatchPool[T any](p Pool, idx index.Index[T], queries []T, k int) [][]
 // batcher interface predates cancellation and its implementations pin
 // cross-query state that cannot stop midway.)
 func SearchBatchPoolCtx[T any](ctx context.Context, p Pool, idx index.Index[T], queries []T, k int) ([][]topk.Neighbor, error) {
+	return SearchBatchTracedPoolCtx(ctx, p, idx, queries, k, nil)
+}
+
+// SearchBatchTracedPoolCtx is SearchBatchPoolCtx with stage attribution:
+// when tr is non-nil and the index's searchers implement obs.Traceable,
+// each worker records its queries' stage counters and timings into a
+// private per-worker trace (no cross-worker contention on the hot path),
+// and the per-worker traces are summed into tr after the batch completes.
+// A nil tr, or an index without traceable searchers, costs nothing.
+// Because workers run concurrently, the summed stage times measure total
+// work, not wall-clock elapsed time.
+func SearchBatchTracedPoolCtx[T any](ctx context.Context, p Pool, idx index.Index[T], queries []T, k int, tr *obs.QueryTrace) ([][]topk.Neighbor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -243,14 +256,28 @@ func SearchBatchPoolCtx[T any](ctx context.Context, p Pool, idx index.Index[T], 
 		// Slots are indexed by worker id; each is touched by exactly one
 		// worker goroutine (ForWithIDCtx's contract), so no locking.
 		searchers := make([]index.Searcher[T], p.clamp(len(queries)))
+		var traces []obs.QueryTrace
+		if tr != nil {
+			traces = make([]obs.QueryTrace, len(searchers))
+		}
 		err = p.ForWithIDCtx(ctx, len(queries), func(worker, i int) {
 			s := searchers[worker]
 			if s == nil {
 				s = sp.NewSearcher()
 				searchers[worker] = s
+				if tr != nil {
+					if tt, ok := s.(obs.Traceable); ok {
+						tt.SetTrace(&traces[worker])
+					}
+				}
 			}
 			out[i] = s.Search(queries[i], k)
 		})
+		if tr != nil {
+			for w := range traces {
+				tr.Merge(&traces[w])
+			}
+		}
 	} else {
 		err = p.ForWithIDCtx(ctx, len(queries), func(_, i int) {
 			out[i] = idx.Search(queries[i], k)

@@ -1,8 +1,10 @@
 package lsm
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/seqscan"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -65,6 +67,31 @@ func TestTreeSearchAppendZeroAllocs(t *testing.T) {
 		qi++
 	}); avg > 1 {
 		t.Errorf("warm tiered Search allocates %v times per run, want <= 1", avg)
+	}
+
+	// The instrumented path is held to the same bar: component attribution
+	// into an attached QueryTrace adds zero allocations, and the trace must
+	// actually account for the full merge surface (base + tier + memtable).
+	var trace obs.QueryTrace
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(50, func() {
+		trace.Reset()
+		dst, _ = tree.SearchAppendTraced(ctx, dst[:0], baseIdx, queries[qi%len(queries)], k, &trace)
+		qi++
+	}); avg != 0 {
+		t.Errorf("warm traced tiered SearchAppend allocates %v times per run, want 0", avg)
+	}
+	if trace.Components != 3 {
+		t.Errorf("trace.Components = %d, want 3 (base + sealed tier + memtable)", trace.Components)
+	}
+	if trace.BaseNs <= 0 || trace.TierNs <= 0 || trace.MemtableNs <= 0 {
+		t.Errorf("component times not attributed: base=%d tier=%d memtable=%d", trace.BaseNs, trace.TierNs, trace.MemtableNs)
+	}
+	if trace.MaskNs <= 0 {
+		t.Errorf("tombstone mask time not attributed with tombstones in play")
+	}
+	if trace.RefineDistances == 0 {
+		t.Errorf("component searchers did not record refine distances through the shared trace")
 	}
 }
 

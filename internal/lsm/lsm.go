@@ -34,10 +34,12 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/scratch"
 	"repro/internal/seqscan"
@@ -240,12 +242,18 @@ type Tree[T any] struct {
 // are re-minted whenever the caller passes a different base index (compared
 // by interface identity, so base indexes must be pointer-shaped — every
 // index in this repository is).
+// Alongside each searcher the state caches its obs.Traceable view (nil when
+// the component cannot carry a trace), so the traced search path does the
+// interface assertion once per mint instead of once per query.
 type searchState[T any] struct {
 	epoch uint64
 	base  index.Index[T]
 	baseS index.Searcher[T]
+	baseT obs.Traceable
 	tierS []index.Searcher[T] // parallel to Tree.tiers; nil for index-less tiers
+	tierT []obs.Traceable
 	memS  index.Searcher[T]
+	memT  obs.Traceable
 	buf   []topk.Neighbor
 }
 
@@ -1015,6 +1023,19 @@ func (t *Tree[T]) SearchAppend(dst []topk.Neighbor, base index.Index[T], query T
 // error. The checks are allocation-free; the zero-alloc warm-path guarantee
 // of SearchAppend holds here too.
 func (t *Tree[T]) SearchAppendCtx(ctx context.Context, dst []topk.Neighbor, base index.Index[T], query T, k int) ([]topk.Neighbor, error) {
+	return t.SearchAppendTraced(ctx, dst, base, query, k, nil)
+}
+
+// SearchAppendTraced is SearchAppendCtx with per-component attribution:
+// when tr is non-nil, the time spent in the base index, the sealed tiers,
+// the memtable, the tombstone masking pass and the final merge is recorded
+// into it, alongside whatever stage detail the component searchers
+// themselves record (a traceable component receives the same tr). The
+// trace pointer is (re)set on every cached component searcher on every
+// query — nil included — so a pooled search state can never write into a
+// previous query's trace. Tracing adds no allocations: the warm zero-alloc
+// guarantee holds with tr attached.
+func (t *Tree[T]) SearchAppendTraced(ctx context.Context, dst []topk.Neighbor, base index.Index[T], query T, k int, tr *obs.QueryTrace) ([]topk.Neighbor, error) {
 	if k <= 0 {
 		return dst, nil
 	}
@@ -1028,33 +1049,67 @@ func (t *Tree[T]) SearchAppendCtx(ctx context.Context, dst []topk.Neighbor, base
 	t.refreshLocked(st, base)
 	kq := k + len(t.deleted)
 	buf := st.buf[:0]
+	var t0 time.Time
 	if st.baseS != nil {
+		if st.baseT != nil {
+			st.baseT.SetTrace(tr)
+		}
+		if tr != nil {
+			tr.Components++
+			t0 = time.Now()
+		}
 		buf = st.baseS.SearchAppend(buf, query, kq)
+		if tr != nil {
+			obs.AddSince(&tr.BaseNs, t0)
+		}
 	}
-	for ti, tr := range t.tiers {
-		if tr.idx == nil {
+	for ti, tier := range t.tiers {
+		if tier.idx == nil {
 			continue
 		}
 		if err := ctx.Err(); err != nil {
 			st.buf = buf[:0]
 			return dst, err
 		}
+		if st.tierT[ti] != nil {
+			st.tierT[ti].SetTrace(tr)
+		}
+		if tr != nil {
+			tr.Components++
+			t0 = time.Now()
+		}
 		start := len(buf)
 		buf = st.tierS[ti].SearchAppend(buf, query, kq)
 		for i := start; i < len(buf); i++ {
-			buf[i].ID = tr.ids[buf[i].ID]
+			buf[i].ID = tier.ids[buf[i].ID]
+		}
+		if tr != nil {
+			obs.AddSince(&tr.TierNs, t0)
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		st.buf = buf[:0]
 		return dst, err
 	}
+	if st.memT != nil {
+		st.memT.SetTrace(tr)
+	}
+	if tr != nil {
+		tr.Components++
+		t0 = time.Now()
+	}
 	start := len(buf)
 	buf = st.memS.SearchAppend(buf, query, kq)
 	for i := start; i < len(buf); i++ {
 		buf[i].ID = t.mem.ids[buf[i].ID]
 	}
+	if tr != nil {
+		obs.AddSince(&tr.MemtableNs, t0)
+	}
 	if len(t.deleted) > 0 {
+		if tr != nil {
+			t0 = time.Now()
+		}
 		kept := buf[:0]
 		for _, nb := range buf {
 			if _, dead := t.deleted[nb.ID]; !dead {
@@ -1062,11 +1117,20 @@ func (t *Tree[T]) SearchAppendCtx(ctx context.Context, dst []topk.Neighbor, base
 			}
 		}
 		buf = kept
+		if tr != nil {
+			obs.AddSince(&tr.MaskNs, t0)
+		}
+	}
+	if tr != nil {
+		t0 = time.Now()
 	}
 	top := topk.SelectK(buf, k)
 	// Copy the answer out: buf is pooled and must never escape to the
 	// caller. Keep the (possibly regrown) buffer for the next query.
 	dst = append(dst, top...)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
 	st.buf = buf[:0]
 	return dst, nil
 }
@@ -1077,21 +1141,26 @@ func (t *Tree[T]) SearchAppendCtx(ctx context.Context, dst []topk.Neighbor, base
 func (t *Tree[T]) refreshLocked(st *searchState[T], base index.Index[T]) {
 	if st.epoch != t.searchEpoch || st.memS == nil {
 		st.tierS = st.tierS[:0]
+		st.tierT = st.tierT[:0]
 		for _, tr := range t.tiers {
 			var s index.Searcher[T]
 			if tr.idx != nil {
 				s = mintSearcher(tr.idx)
 			}
 			st.tierS = append(st.tierS, s)
+			tt, _ := s.(obs.Traceable)
+			st.tierT = append(st.tierT, tt)
 		}
 		st.memS = mintSearcher[T](t.mem.dyn)
+		st.memT, _ = st.memS.(obs.Traceable)
 		st.epoch = t.searchEpoch
 	}
 	if base == nil {
-		st.base, st.baseS = nil, nil
+		st.base, st.baseS, st.baseT = nil, nil, nil
 	} else if st.base != base || st.baseS == nil {
 		st.base = base
 		st.baseS = mintSearcher(base)
+		st.baseT, _ = st.baseS.(obs.Traceable)
 	}
 }
 

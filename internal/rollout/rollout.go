@@ -52,6 +52,30 @@ type Options struct {
 	PollInterval    time.Duration
 	// Log receives progress events; nil means the process default logger.
 	Log *log.Logger
+	// OnEvent, when set, receives every structured per-step Event the
+	// driver emits (in addition to the JSON line written to Log) — the hook
+	// a control plane or test harness uses to follow a roll step by step.
+	OnEvent func(Event)
+}
+
+// Event is one structured step of a rollout attempt. Every event is also
+// logged as a single JSON line ("rollout: event {...}"), so an operator can
+// reconstruct the exact sequence — which replica was mid-swap, what the
+// golden gate measured, why a rollback started — from the driver's log
+// alone.
+type Event struct {
+	// Step is one of: preflight, survey, baseline, update, converged,
+	// verify, rollback, restore, done.
+	Step       string  `json:"step"`
+	Set        string  `json:"set"`
+	Generation int64   `json:"generation,omitempty"`
+	Shard      int     `json:"shard"`   // -1 for fleet-level events
+	Replica    int     `json:"replica"` // -1 for fleet-level events
+	URL        string  `json:"url,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+	Err        string  `json:"error,omitempty"`
+	Recall     float64 `json:"recall,omitempty"`
+	LatencyX   float64 `json:"latency_x,omitempty"`
 }
 
 // Driver ships shard-set generations onto a fleet. Create with New.
@@ -108,6 +132,24 @@ type Report struct {
 	LatencyX   float64  `json:"latency_x,omitempty"` // golden wall-time factor vs baseline (gate runs only)
 }
 
+// emit logs e as one structured JSON line and forwards it to the OnEvent
+// hook. Fleet-level callers pass Shard/Replica as -1.
+func (d *Driver) emit(e Event) {
+	blob, err := json.Marshal(e)
+	if err != nil {
+		blob = []byte(fmt.Sprintf(`{"step":%q,"error":"unencodable event"}`, e.Step))
+	}
+	d.log.Printf("rollout: event %s", blob)
+	if d.opts.OnEvent != nil {
+		d.opts.OnEvent(e)
+	}
+}
+
+// fleetEvent is an Event not attributable to one replica.
+func fleetEvent(step, set string, gen int64) Event {
+	return Event{Step: step, Set: set, Generation: gen, Shard: -1, Replica: -1}
+}
+
 // repState tracks one replica through a roll.
 type repState struct {
 	shard, id int
@@ -154,6 +196,9 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 	if err := m.VerifyFiles(setDir); err != nil {
 		return nil, fmt.Errorf("rollout: pre-flight: %w", err)
 	}
+	pre := fleetEvent("preflight", m.Set, m.Generation)
+	pre.Detail = fmt.Sprintf("%d shard files checksum-verified", len(m.Shards))
+	d.emit(pre)
 	topo := d.opts.Topology
 	if len(m.Shards) != len(topo.Shards) {
 		return nil, fmt.Errorf("rollout: manifest has %d shards, topology has %d", len(m.Shards), len(topo.Shards))
@@ -168,6 +213,9 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 		return rep, fmt.Errorf("rollout: generation skew: manifest generation %d is not newer than the fleet's %d (use -allow-older to force)",
 			m.Generation, rep.Previous)
 	}
+	sv := fleetEvent("survey", m.Set, m.Generation)
+	sv.Detail = fmt.Sprintf("fleet on generation %d, %d replicas skipped", rep.Previous, len(rep.Skipped))
+	d.emit(sv)
 
 	var baseline *goldenRun
 	if d.goldenEnabled() {
@@ -176,6 +224,9 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 			return rep, fmt.Errorf("rollout: golden baseline: %w", err)
 		}
 		d.log.Printf("rollout: golden baseline captured: %d queries via %s", len(d.opts.GoldenQueries), d.opts.RouterURL)
+		bl := fleetEvent("baseline", m.Set, m.Generation)
+		bl.Detail = fmt.Sprintf("%d golden queries captured", len(d.opts.GoldenQueries))
+		d.emit(bl)
 	}
 
 	// Roll replica-by-replica. Any failure from here on restores the
@@ -189,6 +240,9 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 		}
 		st.updated = true
 		rep.Updated = append(rep.Updated, st.rep.URL)
+		d.emit(Event{Step: "update", Set: m.Set, Generation: m.Generation,
+			Shard: st.shard, Replica: st.id, URL: st.rep.URL,
+			Detail: fmt.Sprintf("generation %d -> %d", st.prevGen, m.Generation)})
 	}
 
 	// Convergence double-check across the whole fleet.
@@ -197,6 +251,9 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 	}
 	d.log.Printf("rollout: fleet converged on generation %d (%d replicas updated, %d skipped)",
 		m.Generation, len(rep.Updated), len(rep.Skipped))
+	cv := fleetEvent("converged", m.Set, m.Generation)
+	cv.Detail = fmt.Sprintf("%d replicas updated, %d skipped", len(rep.Updated), len(rep.Skipped))
+	d.emit(cv)
 
 	if d.goldenEnabled() {
 		verdict, err := d.captureGolden(m.Set)
@@ -206,6 +263,9 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 		rep.Recall = recall(baseline, verdict)
 		rep.LatencyX = latencyFactor(baseline, verdict)
 		d.log.Printf("rollout: golden verify: recall %.4f (gate %.4f), latency %.2fx", rep.Recall, d.opts.MinRecall, rep.LatencyX)
+		vf := fleetEvent("verify", m.Set, m.Generation)
+		vf.Recall, vf.LatencyX = rep.Recall, rep.LatencyX
+		d.emit(vf)
 		if rep.Recall < d.opts.MinRecall {
 			return rep, d.rollback(rep, states,
 				fmt.Sprintf("golden recall %.4f below gate %.4f", rep.Recall, d.opts.MinRecall))
@@ -215,6 +275,7 @@ func (d *Driver) Rollout(manifestPath string) (*Report, error) {
 				fmt.Sprintf("golden latency %.2fx above gate %.2fx", rep.LatencyX, d.opts.MaxLatencyFactor))
 		}
 	}
+	d.emit(fleetEvent("done", m.Set, m.Generation))
 	return rep, nil
 }
 
@@ -286,6 +347,9 @@ func (d *Driver) rollback(rep *Report, states []*repState, reason string) error 
 	d.log.Printf("rollout: ROLLING BACK: %s", reason)
 	rep.RolledBack = true
 	rep.Reason = reason
+	rb := fleetEvent("rollback", rep.Set, rep.Generation)
+	rb.Err = reason
+	d.emit(rb)
 	var failures []string
 	for i := len(states) - 1; i >= 0; i-- {
 		st := states[i]
@@ -307,6 +371,8 @@ func (d *Driver) rollback(rep *Report, states []*repState, reason string) error 
 			continue
 		}
 		d.log.Printf("rollout: %s restored to generation %d", st, st.prevGen)
+		d.emit(Event{Step: "restore", Set: rep.Set, Generation: st.prevGen,
+			Shard: st.shard, Replica: st.id, URL: st.rep.URL})
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("rollout: rolled back (%s) but %d replicas failed to restore: %s",

@@ -348,6 +348,97 @@ func TestRolloutSkipsDeadReplica(t *testing.T) {
 	}
 }
 
+// TestRolloutEvents: the driver narrates a roll as structured per-step
+// events — one update per reachable replica between survey and
+// convergence on success, and a rollback/restore trail on regression.
+func TestRolloutEvents(t *testing.T) {
+	gen1 := t.TempDir()
+	buildGen(t, gen1, 1, roSeed)
+	f := bootFleet(t, gen1, 2)
+
+	newDriver := func(goldenSeed int64, sink *[]rollout.Event) *rollout.Driver {
+		queries, err := rollout.GoldenQueries("dna", goldenSeed, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := rollout.New(rollout.Options{
+			Topology:        f.topo,
+			RouterURL:       f.router.URL,
+			GoldenQueries:   queries,
+			GoldenK:         5,
+			Timeout:         5 * time.Second,
+			ConvergeTimeout: 10 * time.Second,
+			PollInterval:    20 * time.Millisecond,
+			OnEvent:         func(e rollout.Event) { *sink = append(*sink, e) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	steps := func(events []rollout.Event) []string {
+		var out []string
+		for _, e := range events {
+			out = append(out, e.Step)
+		}
+		return out
+	}
+
+	var events []rollout.Event
+	manifest2 := buildGen(t, t.TempDir(), 2, roSeed)
+	if _, err := newDriver(roSeed, &events).Rollout(manifest2); err != nil {
+		t.Fatalf("rollout failed: %v", err)
+	}
+	want := []string{"preflight", "survey", "baseline",
+		"update", "update", "update", "update", "converged", "verify", "done"}
+	if got := steps(events); !slicesEqual(got, want) {
+		t.Fatalf("event steps = %v, want %v", got, want)
+	}
+	for _, e := range events {
+		if e.Set != roSet || e.Generation == 0 {
+			t.Errorf("event %+v missing set/generation", e)
+		}
+		if e.Step == "update" && (e.URL == "" || e.Shard < 0 || e.Replica < 0 ||
+			!strings.Contains(e.Detail, "generation 1 -> 2")) {
+			t.Errorf("update event not attributed to a replica: %+v", e)
+		}
+		if e.Step == "verify" && e.Recall < 0.999 {
+			t.Errorf("verify event recall = %v, want ~1 for an identical rebuild", e.Recall)
+		}
+	}
+
+	// A regression narrates the rollback: verify, then rollback with the
+	// reason, then one restore per updated replica.
+	events = nil
+	manifest3 := buildGen(t, t.TempDir(), 3, 99) // wrong corpus
+	if _, err := newDriver(99, &events).Rollout(manifest3); err == nil {
+		t.Fatal("regressed rollout reported success")
+	}
+	got := steps(events)
+	want = []string{"preflight", "survey", "baseline",
+		"update", "update", "update", "update", "converged", "verify",
+		"rollback", "restore", "restore", "restore", "restore"}
+	if !slicesEqual(got, want) {
+		t.Fatalf("regression event steps = %v, want %v", got, want)
+	}
+	rb := events[len(want)-5]
+	if !strings.Contains(rb.Err, "recall") {
+		t.Errorf("rollback event error %q does not name the recall gate", rb.Err)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // TestTopologyRoundtrip: write/read identity plus validation rejections.
 func TestTopologyRoundtrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fleet.json")

@@ -1,0 +1,93 @@
+package router_test
+
+// Steady-state allocation guards for the sharded query path: a warm
+// localSearcher.SearchAppend performs zero allocations per query, with and
+// without a stage trace attached — observability must not cost the hot
+// path its zero-alloc property (the same contract internal/core/alloc_test.go
+// enforces for every unsharded index kind).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/indextest"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/space"
+	"repro/internal/topk"
+)
+
+// buildAllocLocal shards the dense corpus across 3 NAPP indexes — a filter
+// kind, so the trace sees filter candidates and refine evaluations from
+// every shard probe.
+func buildAllocLocal(t *testing.T) (loc index.SearcherProvider[[]float32], queries [][]float32) {
+	t.Helper()
+	db, qs := indextest.DenseCorpus()
+	kb := kindBuilder[[]float32]{"napp", func(data [][]float32) (index.Index[[]float32], error) {
+		return core.NewNAPP(space.L2{}, data, core.NAPPOptions{
+			NumPivots: 32, NumPivotIndex: 8, MinShared: 1, Seed: seed,
+		})
+	}}
+	return buildLocal(t, kb, db, 3, shard.Hash), qs
+}
+
+func TestLocalSearcherZeroAllocs(t *testing.T) {
+	loc, queries := buildAllocLocal(t)
+	const k = 10
+	s := loc.NewSearcher()
+	dst := make([]topk.Neighbor, 0, k)
+
+	// Warm: grow the merge buffer and every sub-searcher's scratch.
+	for _, q := range queries {
+		dst = s.SearchAppend(dst[:0], q, k)
+	}
+	q := queries[0]
+	if got := testing.AllocsPerRun(50, func() {
+		dst = s.SearchAppend(dst[:0], q, k)
+	}); got != 0 {
+		t.Errorf("warm sharded SearchAppend allocates %v/op, want 0", got)
+	}
+	if len(dst) == 0 {
+		t.Fatal("warm search returned no results")
+	}
+}
+
+func TestLocalSearcherZeroAllocsTraced(t *testing.T) {
+	loc, queries := buildAllocLocal(t)
+	const k = 10
+	s := loc.NewSearcher()
+	tt, ok := s.(obs.Traceable)
+	if !ok {
+		t.Fatal("local searcher does not implement obs.Traceable")
+	}
+	var trace obs.QueryTrace
+	tt.SetTrace(&trace)
+	dst := make([]topk.Neighbor, 0, k)
+	for _, q := range queries {
+		dst = s.SearchAppend(dst[:0], q, k)
+	}
+	q := queries[0]
+	if got := testing.AllocsPerRun(50, func() {
+		trace.Reset()
+		dst = s.SearchAppend(dst[:0], q, k)
+	}); got != 0 {
+		t.Errorf("warm traced sharded SearchAppend allocates %v/op, want 0", got)
+	}
+	if trace.FilterCandidates <= 0 || trace.RefineDistances <= 0 {
+		t.Errorf("trace saw candidates=%d refines=%d, want > 0 (shard probes share the trace)",
+			trace.FilterCandidates, trace.RefineDistances)
+	}
+	if trace.MergeNs <= 0 {
+		t.Errorf("trace.MergeNs = %d, want > 0 (merge time attributed by the local searcher)", trace.MergeNs)
+	}
+
+	// Detaching must stop all writes: a stale trace pointer on a pooled
+	// searcher would corrupt a later query's attribution.
+	tt.SetTrace(nil)
+	before := trace
+	dst = s.SearchAppend(dst[:0], q, k)
+	if trace != before {
+		t.Error("detached searcher still writes to the old trace")
+	}
+}

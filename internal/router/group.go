@@ -5,6 +5,8 @@ import (
 	"log"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // group is one shard's replica set: every member serves the identical shard
@@ -21,6 +23,10 @@ type group struct {
 	// prober re-admits it once /healthz answers again.
 	ejectAfter int32
 	log        *log.Logger
+	// mLatency / mFailovers are the shard-level /metrics handles
+	// (permrouter_shard_*), nil outside a Router.
+	mLatency   *obs.Histogram
+	mFailovers *obs.Counter
 }
 
 // candidates returns the group's replicas in attempt order: the healthy
@@ -53,6 +59,7 @@ func (g *group) candidates() []*replica {
 // malformed on every replica); the shard as a whole fails only when every
 // attempt is exhausted.
 func (g *group) search(ctx context.Context, name string, body []byte, hedgeDelay time.Duration) (*shardPayload, error) {
+	legStart := time.Now()
 	cands := g.candidates()
 	// At most one attempt per distinct replica, plus one speculative
 	// duplicate when hedging is on (so a single-replica group retries once
@@ -74,6 +81,9 @@ func (g *group) search(ctx context.Context, name string, body []byte, hedgeDelay
 		attempts++
 		if speculative {
 			r.hedges.Add(1)
+			if r.m != nil {
+				r.m.hedges.Inc()
+			}
 		}
 		go func() {
 			p, err := r.search(ctx, name, body)
@@ -96,6 +106,12 @@ func (g *group) search(ctx context.Context, name string, body []byte, hedgeDelay
 			pending--
 			if o.err == nil {
 				g.noteSuccess(o.r)
+				// Shard latency is the whole leg — candidate ordering,
+				// failovers and hedges included — because that is what the
+				// gather barrier actually waits on.
+				if g.mLatency != nil {
+					g.mLatency.Since(legStart)
+				}
 				return o.p, nil
 			}
 			if _, client := o.err.(*clientError); client {
@@ -111,6 +127,9 @@ func (g *group) search(ctx context.Context, name string, body []byte, hedgeDelay
 			// waiting out the hedge timer against a dead socket).
 			if attempts < maxAttempts {
 				hedgeC = nil
+				if g.mFailovers != nil {
+					g.mFailovers.Inc()
+				}
 				launch(false)
 				pending++
 				continue
@@ -135,7 +154,7 @@ func (g *group) search(ctx context.Context, name string, body []byte, hedgeDelay
 // waiting for the prober.
 func (g *group) noteSuccess(r *replica) {
 	r.consecFails.Store(0)
-	if r.ejected.Swap(false) {
+	if r.noteReadmitted() {
 		g.log.Printf("router: shard %d replica %d (%s) re-admitted (answered a last-resort attempt)", r.shard, r.id, r.base)
 	}
 }
@@ -143,7 +162,7 @@ func (g *group) noteSuccess(r *replica) {
 // noteFailure bumps the replica's failure streak and ejects it at the
 // threshold.
 func (g *group) noteFailure(r *replica) {
-	if r.consecFails.Add(1) >= g.ejectAfter && !r.ejected.Swap(true) {
+	if r.consecFails.Add(1) >= g.ejectAfter && r.noteEjected() {
 		g.log.Printf("router: shard %d replica %d (%s) ejected after %d consecutive failures; probing for re-admission", r.shard, r.id, r.base, g.ejectAfter)
 	}
 }

@@ -2,9 +2,11 @@ package router
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -126,7 +128,22 @@ type localSearcher[T any] struct {
 	l    *Local[T]
 	subs []index.Searcher[T] // nil where the shard index mints none
 	buf  []topk.Neighbor
+	tr   *obs.QueryTrace
 }
+
+// SetTrace implements obs.Traceable: the trace is propagated to every
+// traceable sub-searcher, so shard probes attribute their own filter/refine
+// stages while the merge time lands here. Setting nil detaches everywhere.
+func (s *localSearcher[T]) SetTrace(tr *obs.QueryTrace) {
+	s.tr = tr
+	for _, sub := range s.subs {
+		if tt, ok := sub.(obs.Traceable); ok {
+			tt.SetTrace(tr)
+		}
+	}
+}
+
+var _ obs.Traceable = (*localSearcher[[]float32])(nil)
 
 // Search implements index.Searcher.
 func (s *localSearcher[T]) Search(query T, k int) []topk.Neighbor {
@@ -149,6 +166,13 @@ func (s *localSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []t
 		}
 		translate(s.buf[start:], sh.IDs)
 	}
+	var mergeStart time.Time
+	if s.tr != nil {
+		mergeStart = time.Now()
+	}
 	merged := topk.SelectK(s.buf, k)
+	if s.tr != nil {
+		s.tr.MergeNs += time.Since(mergeStart).Nanoseconds()
+	}
 	return append(dst, merged...)
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -43,6 +44,46 @@ type replica struct {
 	latencyNs   atomic.Int64 // cumulative per-call wall time
 	consecFails atomic.Int32 // consecutive infrastructure failures
 	ejected     atomic.Bool  // out of the regular rotation until re-admitted
+
+	// m are the replica's /metrics handles, resolved once by the router
+	// after topology validation; nil when the replica is used outside a
+	// Router (unit tests), so every recording site nil-guards.
+	m *replicaMetrics
+}
+
+// replicaMetrics are one replica's exposition handles
+// (permrouter_replica_* families, labeled shard,replica).
+type replicaMetrics struct {
+	requests     *obs.Counter
+	failures     *obs.Counter
+	hedges       *obs.Counter
+	latency      *obs.Histogram
+	ejections    *obs.Counter
+	readmissions *obs.Counter
+}
+
+// noteEjected flips the replica out of rotation, returning true on the
+// false->true transition (which is also counted as an ejection metric).
+func (r *replica) noteEjected() bool {
+	if r.ejected.Swap(true) {
+		return false
+	}
+	if r.m != nil {
+		r.m.ejections.Inc()
+	}
+	return true
+}
+
+// noteReadmitted flips the replica back into rotation, returning true on
+// the true->false transition (counted as a re-admission metric).
+func (r *replica) noteReadmitted() bool {
+	if !r.ejected.Swap(false) {
+		return false
+	}
+	if r.m != nil {
+		r.m.readmissions.Inc()
+	}
+	return true
 }
 
 func newReplica(shardIdx, id int, base string, timeout time.Duration) *replica {
@@ -106,13 +147,24 @@ func errorBody(raw []byte) string {
 // the group (group.search): a replica only ever makes single attempts.
 func (r *replica) search(ctx context.Context, name string, body []byte) (*shardPayload, error) {
 	r.requests.Add(1)
+	if r.m != nil {
+		r.m.requests.Inc()
+	}
 	start := time.Now()
-	defer func() { r.latencyNs.Add(time.Since(start).Nanoseconds()) }()
+	defer func() {
+		r.latencyNs.Add(time.Since(start).Nanoseconds())
+		if r.m != nil {
+			r.m.latency.Since(start)
+		}
+	}()
 
 	p, err := r.doSearch(ctx, name, body)
 	if err != nil {
 		if _, client := err.(*clientError); !client {
 			r.failures.Add(1)
+			if r.m != nil {
+				r.m.failures.Inc()
+			}
 		}
 		return nil, err
 	}

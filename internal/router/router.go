@@ -9,9 +9,11 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -52,6 +54,10 @@ type Options struct {
 	ProbeInterval time.Duration
 	// Log receives routing events; nil means the process default logger.
 	Log *log.Logger
+	// Metrics is the registry GET /metrics exposes and the per-index,
+	// per-shard and per-replica counters record into; nil means the
+	// process-wide obs.Default(). Tests pass private registries.
+	Metrics *obs.Registry
 }
 
 // routedIndex is one routable index name with what discovery learned about
@@ -89,6 +95,16 @@ type Router struct {
 	mux        *http.ServeMux
 	stop       chan struct{}
 	stopOnce   sync.Once
+
+	metrics *obs.Registry
+	rm      map[string]*routedMetrics
+}
+
+// routedMetrics are one routed index's front-tier metric handles.
+type routedMetrics struct {
+	requests *obs.Counter
+	failures *obs.Counter
+	latency  *obs.Histogram
 }
 
 // New builds a router over the topology in opts. It fetches every replica's
@@ -145,12 +161,72 @@ func New(opts Options) (*Router, error) {
 	if err := rt.discover(); err != nil {
 		return nil, err
 	}
+	rt.registerMetrics(opts.Metrics)
 	go rt.probeLoop(opts.ProbeInterval)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /statusz", rt.handleStatusz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /v1/indexes", rt.handleList)
 	rt.mux.HandleFunc("POST /v1/indexes/{name}/search", rt.handleSearch)
 	return rt, nil
+}
+
+// registerMetrics registers the permrouter families and resolves the
+// per-index, per-shard and per-replica handles. Runs after discover, so
+// every label child exists from the first scrape — a dashboard sees zeroes,
+// not absent series, before traffic arrives.
+func (rt *Router) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	rt.metrics = reg
+	requests := reg.Counter("permrouter_requests_total", "Search requests received by the front tier, per index.", "index")
+	failures := reg.Counter("permrouter_request_failures_total", "Search requests answered 4xx/5xx by the front tier, per index.", "index")
+	latency := reg.Histogram("permrouter_request_latency_seconds", "Front-tier search latency (scatter + gather + merge).", 1e-9, "index")
+	rt.rm = make(map[string]*routedMetrics, len(rt.names))
+	for _, name := range rt.names {
+		rt.rm[name] = &routedMetrics{
+			requests: requests.With(name),
+			failures: failures.With(name),
+			latency:  latency.With(name),
+		}
+	}
+	shardLat := reg.Histogram("permrouter_shard_latency_seconds", "Per-shard scatter-leg latency, failovers and hedges included.", 1e-9, "shard")
+	failovers := reg.Counter("permrouter_shard_failovers_total", "Failover attempts launched after a replica failure, per shard.", "shard")
+	repReq := reg.Counter("permrouter_replica_requests_total", "Search attempts routed to the replica (hedges included).", "shard", "replica")
+	repFail := reg.Counter("permrouter_replica_failures_total", "Replica attempts that returned no usable answer.", "shard", "replica")
+	repHedge := reg.Counter("permrouter_replica_hedges_total", "Speculative attempts launched against the replica.", "shard", "replica")
+	repLat := reg.Histogram("permrouter_replica_latency_seconds", "Per-attempt replica call latency.", 1e-9, "shard", "replica")
+	repEject := reg.Counter("permrouter_replica_ejections_total", "Rotation ejections after consecutive failures.", "shard", "replica")
+	repReadmit := reg.Counter("permrouter_replica_readmissions_total", "Re-admissions into the rotation (probe or last-resort success).", "shard", "replica")
+	for _, g := range rt.groups {
+		ss := strconv.Itoa(g.shard)
+		g.mLatency = shardLat.With(ss)
+		g.mFailovers = failovers.With(ss)
+		for _, r := range g.replicas {
+			rs := strconv.Itoa(r.id)
+			r.m = &replicaMetrics{
+				requests:     repReq.With(ss, rs),
+				failures:     repFail.With(ss, rs),
+				hedges:       repHedge.With(ss, rs),
+				latency:      repLat.With(ss, rs),
+				ejections:    repEject.With(ss, rs),
+				readmissions: repReadmit.With(ss, rs),
+			}
+		}
+	}
+	start := rt.start
+	reg.GaugeFunc("permrouter_uptime_seconds", "Process uptime.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := rt.metrics.WriteText(w); err != nil {
+		rt.log.Printf("router: writing /metrics: %v", err)
+	}
 }
 
 // Handler returns the mounted routes.
@@ -201,8 +277,9 @@ func (rt *Router) probeLoop(interval time.Duration) {
 					cancel()
 					if err == nil {
 						r.consecFails.Store(0)
-						r.ejected.Store(false)
-						rt.log.Printf("router: shard %d replica %d (%s) re-admitted (healthz ok)", r.shard, r.id, r.base)
+						if r.noteReadmitted() {
+							rt.log.Printf("router: shard %d replica %d (%s) re-admitted (healthz ok)", r.shard, r.id, r.base)
+						}
 					}
 				}
 			}
@@ -500,25 +577,37 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 		rt.writeError(w, http.StatusNotFound, fmt.Sprintf("no index %q", name))
 		return
 	}
+	// Front-tier accounting: every request to a routable index counts, and
+	// the latency histogram sees the whole request — decode, scatter,
+	// gather, merge — success or failure. Rejections additionally bump the
+	// failure counter via fail (the 404 above has no index to attribute to).
+	rm := rt.rm[name]
+	rm.requests.Inc()
+	start := time.Now()
+	defer func() { rm.latency.Since(start) }()
+	fail := func(status int, msg string) {
+		rm.failures.Inc()
+		rt.writeError(w, status, msg)
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	if err != nil {
-		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		fail(http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
 		return
 	}
 	var req searchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed body: %v", err))
+		fail(http.StatusBadRequest, fmt.Sprintf("malformed body: %v", err))
 		return
 	}
 	if (req.Query == nil) == (len(req.Queries) == 0) {
-		rt.writeError(w, http.StatusBadRequest, `body must carry exactly one of "query" or a non-empty "queries"`)
+		fail(http.StatusBadRequest, `body must carry exactly one of "query" or a non-empty "queries"`)
 		return
 	}
 	if req.K == 0 {
 		req.K = 10
 	}
 	if req.K < 0 {
-		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be positive, got %d", req.K))
+		fail(http.StatusBadRequest, fmt.Sprintf("k must be positive, got %d", req.K))
 		return
 	}
 	// Cap k at the full corpus size, exactly as the unsharded daemon does
@@ -571,7 +660,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if ce, ok := err.(*clientError); ok {
-			rt.writeError(w, http.StatusBadRequest, ce.msg)
+			fail(http.StatusBadRequest, ce.msg)
 			return
 		}
 		failed = append(failed, i)
@@ -581,7 +670,7 @@ func (rt *Router) handleSearch(w http.ResponseWriter, r *http.Request) {
 			rt.log.Printf("router: %v", errs[i])
 		}
 		if !rt.failOpen || len(failed) == len(rt.groups) {
-			rt.writeError(w, http.StatusBadGateway,
+			fail(http.StatusBadGateway,
 				fmt.Sprintf("%d/%d shards failed: %v", len(failed), len(rt.groups), errs[failed[0]]))
 			return
 		}

@@ -6,8 +6,11 @@
 package seqscan
 
 import (
+	"time"
+
 	"repro/internal/engine"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/scratch"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -53,31 +56,51 @@ func (s *Scanner[T]) Search(query T, k int) []topk.Neighbor {
 func (s *Scanner[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	st := s.scratch.Get()
 	defer s.scratch.Put(st)
-	return s.search(st, dst, query, k)
+	return s.search(st, nil, dst, query, k)
 }
 
 // NewSearcher implements index.SearcherProvider. The searcher reads the
 // scanner's live data and tombstones on every call, so it stays correct
-// across Add/Delete — no mutation-sequence re-snapshot is needed.
-func (s *Scanner[T]) NewSearcher() index.Searcher[T] { return scanSearcher[T]{s} }
+// across Add/Delete — no mutation-sequence re-snapshot is needed. It is a
+// pointer so it can carry an attached QueryTrace (obs.Traceable).
+func (s *Scanner[T]) NewSearcher() index.Searcher[T] { return &scanSearcher[T]{s: s} }
 
-var _ index.SearcherProvider[[]float32] = (*Scanner[[]float32])(nil)
+var (
+	_ index.SearcherProvider[[]float32] = (*Scanner[[]float32])(nil)
+	_ obs.Traceable                     = (*scanSearcher[[]float32])(nil)
+)
 
-type scanSearcher[T any] struct{ s *Scanner[T] }
+type scanSearcher[T any] struct {
+	s  *Scanner[T]
+	tr *obs.QueryTrace
+}
 
-func (w scanSearcher[T]) Search(query T, k int) []topk.Neighbor { return w.s.Search(query, k) }
+// SetTrace implements obs.Traceable.
+func (w *scanSearcher[T]) SetTrace(tr *obs.QueryTrace) { w.tr = tr }
 
-func (w scanSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
-	return w.s.SearchAppend(dst, query, k)
+func (w *scanSearcher[T]) Search(query T, k int) []topk.Neighbor {
+	return w.SearchAppend(nil, query, k)
+}
+
+func (w *scanSearcher[T]) SearchAppend(dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+	st := w.s.scratch.Get()
+	defer w.s.scratch.Put(st)
+	return w.s.search(st, w.tr, dst, query, k)
 }
 
 // search is the scratch-threaded hot path shared by Search, SearchAppend
-// and Searchers.
-func (s *Scanner[T]) search(st *scanScratch, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
+// and Searchers. A sequential scan has no filter stage: every live point
+// is an exact distance evaluation, attributed to the refine stage.
+func (s *Scanner[T]) search(st *scanScratch, tr *obs.QueryTrace, dst []topk.Neighbor, query T, k int) []topk.Neighbor {
 	if k <= 0 {
 		return dst
 	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	st.queue.Reset(k)
+	evals := 0
 	for i, x := range s.data {
 		if s.deleted != nil {
 			if _, dead := s.deleted[uint32(i)]; dead {
@@ -85,8 +108,18 @@ func (s *Scanner[T]) search(st *scanScratch, dst []topk.Neighbor, query T, k int
 			}
 		}
 		st.queue.Push(uint32(i), s.sp.Distance(x, query))
+		evals++
 	}
-	return st.queue.AppendResults(dst)
+	if tr != nil {
+		tr.RefineDistances += int64(evals)
+		obs.AddSince(&tr.RefineNs, t0)
+		t0 = time.Now()
+	}
+	dst = st.queue.AppendResults(dst)
+	if tr != nil {
+		obs.AddSince(&tr.MergeNs, t0)
+	}
+	return dst
 }
 
 // SearchAll computes exact k-NN answers for a batch of queries using all

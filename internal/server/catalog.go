@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/codec"
 	"repro/internal/dataset"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/index"
 	"repro/internal/lsm"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/shard"
 	"repro/internal/space"
@@ -67,10 +69,12 @@ type Manifest struct {
 // queries in, neighbors out. The HTTP layer never sees the object type.
 // ctx carries request cancellation into the search paths: a canceled
 // request stops scattering across tiers (mutable entries) and stops the
-// batch fan-out pulling further queries.
+// batch fan-out pulling further queries. tr, when non-nil, receives the
+// query's per-stage breakdown (filter candidates, refine distances, stage
+// and tier timings); nil means untraced and costs nothing.
 type servedIndex interface {
-	search(ctx context.Context, raw json.RawMessage, k int) ([]topk.Neighbor, error)
-	searchBatch(ctx context.Context, raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error)
+	search(ctx context.Context, raw json.RawMessage, k int, tr *obs.QueryTrace) ([]topk.Neighbor, error)
+	searchBatch(ctx context.Context, raws []json.RawMessage, k int, pool engine.Pool, tr *obs.QueryTrace) ([][]topk.Neighbor, error)
 	// applyParams sets per-request method params and returns the restore
 	// function for the previous settings. Callers must hold the
 	// snapshot's param lock exclusively around apply+search+restore.
@@ -87,6 +91,11 @@ type typedIndex[T any] struct {
 	dec  func(json.RawMessage) (T, error)
 	ids  []uint32
 	tree *lsm.Tree[T]
+	// searchers pools per-query Searchers for the traced immutable
+	// single-query path: a Searcher owns warm scratch and implements
+	// obs.Traceable, so tracing a query costs a pool Get/Put instead of a
+	// scratch re-mint. Holds index.Searcher[T] values.
+	searchers sync.Pool
 }
 
 // searchIndex returns the index the search paths should query: the raw
@@ -108,7 +117,7 @@ func (t *typedIndex[T]) globalize(ns []topk.Neighbor) []topk.Neighbor {
 	return ns
 }
 
-func (t *typedIndex[T]) search(ctx context.Context, raw json.RawMessage, k int) ([]topk.Neighbor, error) {
+func (t *typedIndex[T]) search(ctx context.Context, raw json.RawMessage, k int, tr *obs.QueryTrace) ([]topk.Neighbor, error) {
 	q, err := t.dec(raw)
 	if err != nil {
 		return nil, badRequestf("query: %v", err)
@@ -116,16 +125,48 @@ func (t *typedIndex[T]) search(ctx context.Context, raw json.RawMessage, k int) 
 	if t.tree != nil {
 		// The tiered scatter checks ctx between components, so a canceled
 		// single-query request stops before paying for the next tier.
-		nbs, err := t.tree.SearchAppendCtx(ctx, nil, t.idx, q, k)
+		nbs, err := t.tree.SearchAppendTraced(ctx, nil, t.idx, q, k, tr)
 		if err != nil {
 			return nil, err
 		}
 		return t.globalize(nbs), nil
 	}
+	if tr != nil {
+		if nbs, ok := t.searchTraced(q, k, tr); ok {
+			return t.globalize(nbs), nil
+		}
+	}
 	return t.globalize(t.idx.Search(q, k)), nil
 }
 
-func (t *typedIndex[T]) searchBatch(ctx context.Context, raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
+// searchTraced answers one immutable query through a pooled Searcher with
+// tr attached. ok is false when the index mints no Searchers or its
+// Searchers are untraceable; the caller falls back to the plain path.
+func (t *typedIndex[T]) searchTraced(q T, k int, tr *obs.QueryTrace) (nbs []topk.Neighbor, ok bool) {
+	var s index.Searcher[T]
+	if v := t.searchers.Get(); v != nil {
+		s = v.(index.Searcher[T])
+	} else {
+		sp, isSP := t.idx.(index.SearcherProvider[T])
+		if !isSP {
+			return nil, false
+		}
+		s = sp.NewSearcher()
+	}
+	tt, isTr := s.(obs.Traceable)
+	if !isTr {
+		return nil, false
+	}
+	tt.SetTrace(tr)
+	nbs = s.Search(q, k)
+	// Detach before pooling: a pooled searcher must never hold a pointer
+	// into a finished request's trace.
+	tt.SetTrace(nil)
+	t.searchers.Put(s)
+	return nbs, true
+}
+
+func (t *typedIndex[T]) searchBatch(ctx context.Context, raws []json.RawMessage, k int, pool engine.Pool, tr *obs.QueryTrace) ([][]topk.Neighbor, error) {
 	qs := make([]T, len(raws))
 	for i, raw := range raws {
 		q, err := t.dec(raw)
@@ -134,7 +175,7 @@ func (t *typedIndex[T]) searchBatch(ctx context.Context, raws []json.RawMessage,
 		}
 		qs[i] = q
 	}
-	outs, err := engine.SearchBatchPoolCtx(ctx, pool, t.searchIndex(), qs, k)
+	outs, err := engine.SearchBatchTracedPoolCtx(ctx, pool, t.searchIndex(), qs, k, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"slices"
 
 	"repro/internal/index"
 	"repro/internal/lsm"
+	"repro/internal/obs"
 	"repro/internal/topk"
 )
 
@@ -74,12 +76,39 @@ func (ti treeIndex[T]) SearchAppend(dst []topk.Neighbor, q T, k int) []topk.Neig
 	return ti.tree.SearchAppend(dst, ti.base, q, k)
 }
 
-// NewSearcher implements index.SearcherProvider. Per-searcher state lives in
-// the tree's own epoch-keyed pool, so the wrapper is stateless and answers
-// identically to Search by construction.
-func (ti treeIndex[T]) NewSearcher() index.Searcher[T] { return ti }
+// NewSearcher implements index.SearcherProvider. Per-searcher scratch lives
+// in the tree's own epoch-keyed pool, so the wrapper carries only the
+// attached trace (obs.Traceable) and answers identically to Search by
+// construction.
+func (ti treeIndex[T]) NewSearcher() index.Searcher[T] { return &treeSearcher[T]{ti: ti} }
 
-var _ index.SearcherProvider[[]float32] = treeIndex[[]float32]{}
+// treeSearcher threads a per-worker QueryTrace into the tree's traced
+// tiered path. The batch engine owns each instance on one worker goroutine,
+// so the tr field needs no synchronization.
+type treeSearcher[T any] struct {
+	ti treeIndex[T]
+	tr *obs.QueryTrace
+}
+
+// SetTrace implements obs.Traceable.
+func (s *treeSearcher[T]) SetTrace(tr *obs.QueryTrace) { s.tr = tr }
+
+func (s *treeSearcher[T]) Search(q T, k int) []topk.Neighbor {
+	return s.SearchAppend(nil, q, k)
+}
+
+func (s *treeSearcher[T]) SearchAppend(dst []topk.Neighbor, q T, k int) []topk.Neighbor {
+	// Background ctx: the Searcher interface carries no ctx, matching the
+	// pre-trace behavior where batch workers ran the uncancellable pooled
+	// path (the fan-out itself checks ctx between queries).
+	dst, _ = s.ti.tree.SearchAppendTraced(context.Background(), dst, s.ti.base, q, k, s.tr)
+	return dst
+}
+
+var (
+	_ index.SearcherProvider[[]float32] = treeIndex[[]float32]{}
+	_ obs.Traceable                     = (*treeSearcher[[]float32])(nil)
+)
 
 func (ti treeIndex[T]) Name() string { return ti.base.Name() + "+lsm" }
 

@@ -7,6 +7,7 @@
 //
 //	GET  /healthz                      liveness probe
 //	GET  /statusz                      per-index QPS/latency counters (+ tier rows for mutable indexes)
+//	GET  /metrics                      Prometheus text exposition (counters, gauges, latency histograms)
 //	GET  /v1/indexes                   list indexes + header metadata
 //	POST /v1/indexes/{name}/search     answer queries (single or batch)
 //	POST /v1/indexes/{name}/reload     hot-swap the index from its file
@@ -50,11 +51,13 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/lsm"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/topk"
 )
@@ -74,6 +77,20 @@ type Options struct {
 	Timeout time.Duration
 	// Log receives serving events; nil means the process default logger.
 	Log *log.Logger
+	// Metrics is the registry GET /metrics exposes and the per-index
+	// counters and latency histograms record into; nil means the
+	// process-wide obs.Default(). Tests pass private registries so
+	// parallel servers cannot share counters.
+	Metrics *obs.Registry
+	// SlowQueryThreshold enables the slow-query log: a search request
+	// slower than this emits one JSON line with its per-stage breakdown
+	// (and always increments permserve_slow_queries_total). 0 disables
+	// the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryEvery rate-limits the slow-query log to at most one line
+	// per interval per process — a latency storm must not become a log
+	// storm. 0 means a 1s default.
+	SlowQueryEvery time.Duration
 }
 
 // Server routes HTTP requests over a Registry. Create with New, mount via
@@ -85,23 +102,55 @@ type Server struct {
 	log     *log.Logger
 	start   time.Time
 	mux     *http.ServeMux
+
+	metrics    *obs.Registry
+	em         map[string]*entryMetrics
+	slowThresh time.Duration
+	slowEvery  time.Duration
+	slowLast   atomic.Int64 // unix nanos of the last emitted slow-query line
+}
+
+// entryMetrics are one index's metric handles, resolved once at New so the
+// per-request path touches atomics only — no name or label lookups. The
+// stageNs counters follow obs.StageNames order.
+type entryMetrics struct {
+	requests    *obs.Counter
+	failures    *obs.Counter
+	queries     *obs.Counter
+	reloads     *obs.Counter
+	slow        *obs.Counter
+	latency     *obs.Histogram
+	filterCands *obs.Counter
+	refineDists *obs.Counter
+	stageNs     [len(obs.StageNames)]*obs.Counter
 }
 
 // New builds a server over reg.
 func New(reg *Registry, opts Options) *Server {
 	s := &Server{
-		reg:     reg,
-		pool:    engine.NewPool(opts.Workers),
-		timeout: opts.Timeout,
-		log:     opts.Log,
-		start:   time.Now(),
-		mux:     http.NewServeMux(),
+		reg:        reg,
+		pool:       engine.NewPool(opts.Workers),
+		timeout:    opts.Timeout,
+		log:        opts.Log,
+		start:      time.Now(),
+		mux:        http.NewServeMux(),
+		metrics:    opts.Metrics,
+		slowThresh: opts.SlowQueryThreshold,
+		slowEvery:  opts.SlowQueryEvery,
 	}
 	if s.log == nil {
 		s.log = log.Default()
 	}
+	if s.metrics == nil {
+		s.metrics = obs.Default()
+	}
+	if s.slowEvery <= 0 {
+		s.slowEvery = time.Second
+	}
+	s.registerMetrics()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statusz", s.recovered(s.handleStatusz))
+	s.mux.HandleFunc("GET /metrics", s.recovered(s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/indexes", s.recovered(s.handleList))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/search", s.recovered(s.handleSearch))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/reload", s.recovered(s.handleReload))
@@ -109,6 +158,69 @@ func New(reg *Registry, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/indexes/{name}/delete", s.recovered(s.handleDelete))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/flush", s.recovered(s.handleFlush))
 	return s
+}
+
+// registerMetrics registers the permserve metric families and resolves one
+// entryMetrics handle set per index. Registration is idempotent on the
+// registry, so several servers (or a reload) over the same registry share
+// families rather than colliding.
+func (s *Server) registerMetrics() {
+	requests := s.metrics.Counter("permserve_search_requests_total", "Search HTTP requests received, per index.", "index")
+	failures := s.metrics.Counter("permserve_search_failures_total", "Search requests answered 4xx/5xx, per index.", "index")
+	queries := s.metrics.Counter("permserve_queries_total", "Individual queries answered (each batch element counts), per index.", "index")
+	reloads := s.metrics.Counter("permserve_reloads_total", "Successful hot reloads, per index.", "index")
+	slow := s.metrics.Counter("permserve_slow_queries_total", "Search requests over the slow-query threshold, per index.", "index")
+	latency := s.metrics.Histogram("permserve_search_latency_seconds", "Search request latency (decode to response ready).", 1e-9, "index")
+	cands := s.metrics.Counter("permserve_filter_candidates_total", "Candidates examined by the permutation filter stage, per index.", "index")
+	dists := s.metrics.Counter("permserve_refine_distances_total", "Exact distance evaluations in the refine stage, per index.", "index")
+	stage := s.metrics.Counter("permserve_stage_ns_total", "Cumulative time per query stage, nanoseconds.", "index", "stage")
+	s.em = make(map[string]*entryMetrics, len(s.reg.Names()))
+	for _, name := range s.reg.Names() {
+		em := &entryMetrics{
+			requests:    requests.With(name),
+			failures:    failures.With(name),
+			queries:     queries.With(name),
+			reloads:     reloads.With(name),
+			slow:        slow.With(name),
+			latency:     latency.With(name),
+			filterCands: cands.With(name),
+			refineDists: dists.With(name),
+		}
+		for i, st := range obs.StageNames {
+			em.stageNs[i] = stage.With(name, st)
+		}
+		s.em[name] = em
+	}
+	start := s.start
+	s.metrics.GaugeFunc("permserve_uptime_seconds", "Process uptime.", func() float64 {
+		return time.Since(start).Seconds()
+	})
+	s.metrics.GaugeFunc("permserve_goroutines", "Live goroutines.", func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	s.metrics.GaugeFunc("permserve_heap_alloc_bytes", "Bytes of live heap objects.", func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapAlloc)
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WriteText(w); err != nil {
+		s.log.Printf("server: writing /metrics: %v", err)
+	}
+}
+
+// recordTrace folds one finished request's stage breakdown into the
+// index's counters.
+func (em *entryMetrics) recordTrace(tr *obs.QueryTrace) {
+	em.filterCands.Add(tr.FilterCandidates)
+	em.refineDists.Add(tr.RefineDistances)
+	for i, ns := range tr.StageNs() {
+		em.stageNs[i].Add(ns)
+	}
 }
 
 // Handler returns the mounted routes.
@@ -379,6 +491,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, fmt.Sprintf("reload %q: %v", name, err))
 		return
 	}
+	s.em[name].reloads.Inc()
 	s.log.Printf("server: reloaded %q (%s, n=%d)", name, hdr.Kind, hdr.N)
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"reloaded": name, "kind": hdr.Kind, "space": hdr.Space, "n": hdr.N,
@@ -514,13 +627,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Sprintf("no index %q", name))
 		return
 	}
+	em := s.em[name]
 	e.stats.requests.Add(1)
+	em.requests.Inc()
 	start := time.Now()
-	defer func() { e.stats.latencyNs.Add(time.Since(start).Nanoseconds()) }()
+	defer func() {
+		e.stats.latencyNs.Add(time.Since(start).Nanoseconds())
+		em.latency.Since(start)
+	}()
 
 	req, err := decodeSearchRequest(r)
 	if err != nil {
 		e.stats.failures.Add(1)
+		em.failures.Inc()
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -529,6 +648,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		numQueries = len(req.Queries)
 	}
 	e.stats.queries.Add(int64(numQueries))
+	em.queries.Add(int64(numQueries))
 
 	ctx := r.Context()
 	if s.timeout > 0 {
@@ -550,11 +670,17 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if req.K > n && n > 0 {
 		req.K = n
 	}
+	// The trace lives on this stack but is written by the detached search
+	// goroutine; it is read back only on the success path, where the
+	// goroutine has provably finished (runDetached received its outcome).
+	// A timed-out request abandons the trace along with the work.
+	var tr obs.QueryTrace
 	resp, err := runDetached(ctx, s.log, func() (any, error) {
-		return s.execute(ctx, snap, name, req)
+		return s.execute(ctx, snap, name, req, &tr)
 	})
 	if err != nil {
 		e.stats.failures.Add(1)
+		em.failures.Inc()
 		var bad *badRequestError
 		switch {
 		case errors.As(err, &bad):
@@ -569,7 +695,60 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	em.recordTrace(&tr)
+	if s.slowThresh > 0 {
+		if elapsed := time.Since(start); elapsed >= s.slowThresh {
+			em.slow.Inc()
+			s.logSlowQuery(name, numQueries, req.K, elapsed, &tr)
+		}
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// slowQueryLine is the JSON schema of one slow-query log line. Stage times
+// are microseconds keyed by obs.StageNames; a stage the query never entered
+// is omitted.
+type slowQueryLine struct {
+	Index            string             `json:"index"`
+	Queries          int                `json:"queries"`
+	K                int                `json:"k"`
+	ElapsedUs        float64            `json:"elapsed_us"`
+	ThresholdUs      float64            `json:"threshold_us"`
+	FilterCandidates int64              `json:"filter_candidates"`
+	RefineDistances  int64              `json:"refine_distances"`
+	StageUs          map[string]float64 `json:"stage_us"`
+}
+
+// logSlowQuery emits one rate-limited slow-query line: a CAS on the last
+// emission time admits at most one line per slowEvery across all request
+// goroutines, while the slow counter (incremented by the caller) still
+// counts every threshold crossing.
+func (s *Server) logSlowQuery(name string, numQueries, k int, elapsed time.Duration, tr *obs.QueryTrace) {
+	now := time.Now().UnixNano()
+	last := s.slowLast.Load()
+	if now-last < int64(s.slowEvery) || !s.slowLast.CompareAndSwap(last, now) {
+		return
+	}
+	line := slowQueryLine{
+		Index:            name,
+		Queries:          numQueries,
+		K:                k,
+		ElapsedUs:        float64(elapsed.Nanoseconds()) / 1e3,
+		ThresholdUs:      float64(s.slowThresh.Nanoseconds()) / 1e3,
+		FilterCandidates: tr.FilterCandidates,
+		RefineDistances:  tr.RefineDistances,
+		StageUs:          map[string]float64{},
+	}
+	for i, ns := range tr.StageNs() {
+		if ns > 0 {
+			line.StageUs[obs.StageNames[i]] = float64(ns) / 1e3
+		}
+	}
+	blob, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.log.Printf("server: slow_query %s", blob)
 }
 
 // decodeSearchRequest parses and validates a search body.
@@ -598,7 +777,7 @@ func decodeSearchRequest(r *http.Request) (searchRequest, error) {
 // is cooperative: the tiered and batch search paths check it between
 // components/queries, so a timed-out request releases its workers promptly
 // even while runDetached has already abandoned it.
-func (s *Server) execute(ctx context.Context, snap *snapshot, name string, req searchRequest) (any, error) {
+func (s *Server) execute(ctx context.Context, snap *snapshot, name string, req searchRequest, tr *obs.QueryTrace) (any, error) {
 	if len(req.Params) > 0 {
 		// Per-request params mutate the index's knobs: exclusive lock,
 		// apply, answer, restore. Plain searches hold the lock shared.
@@ -615,13 +794,13 @@ func (s *Server) execute(ctx context.Context, snap *snapshot, name string, req s
 	}
 
 	if req.Query != nil {
-		nbs, err := snap.served.search(ctx, req.Query, req.K)
+		nbs, err := snap.served.search(ctx, req.Query, req.K, tr)
 		if err != nil {
 			return nil, err
 		}
 		return &singleResponse{Index: name, K: req.K, Results: toJSON(nbs)}, nil
 	}
-	outs, err := snap.served.searchBatch(ctx, req.Queries, req.K, s.pool)
+	outs, err := snap.served.searchBatch(ctx, req.Queries, req.K, s.pool, tr)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/space"
 	"repro/internal/topk"
@@ -326,11 +327,11 @@ func TestServedPerRequestParams(t *testing.T) {
 // panicServed stands in for an index whose Search has a bug.
 type panicServed struct{}
 
-func (panicServed) search(context.Context, json.RawMessage, int) ([]topk.Neighbor, error) {
+func (panicServed) search(context.Context, json.RawMessage, int, *obs.QueryTrace) ([]topk.Neighbor, error) {
 	panic("search exploded")
 }
 
-func (panicServed) searchBatch(_ context.Context, raws []json.RawMessage, k int, pool engine.Pool) ([][]topk.Neighbor, error) {
+func (panicServed) searchBatch(_ context.Context, raws []json.RawMessage, k int, pool engine.Pool, _ *obs.QueryTrace) ([][]topk.Neighbor, error) {
 	// Through the real worker pool, so the test also covers engine panic
 	// propagation surfacing as an HTTP status.
 	out := make([][]topk.Neighbor, len(raws))

@@ -20,7 +20,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_PR8.json}}"
+out="${1:-${BENCH_OUT:-BENCH_PR10.json}}"
 benchtime="${2:-1s}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -60,8 +60,10 @@ awk -v now="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go env GOVERSION)" '
 # (scripts/benchcheck), so an emitter/benchmark drift fails here, not in a
 # later reader. When a previous committed trajectory point exists, also run
 # trajectory mode against it: a method that silently disappeared is always
-# fatal; a >25% ns/op regression is fatal when both points were measured on
-# the same machine identity, a warning otherwise.
+# fatal; a >25% ns/op regression, any B/op or allocs/op growth, and in
+# particular any previously-zero allocation row moving off zero are fatal
+# when both points were measured on the same machine identity, warnings
+# otherwise.
 prev=""
 for f in $(git ls-files 'BENCH_PR*.json' | sort -V); do
   [ "$f" = "$(basename "$out")" ] && continue

@@ -14,6 +14,15 @@
 // otherwise — cross-machine latency deltas are noise, missing methods are
 // not.
 //
+// Memory is gated too: bytes_per_op and allocs_per_op may not grow by more
+// than -max-alloc-regress (default 0 — any growth fails), and a method
+// whose previous point was zero must stay exactly zero regardless of the
+// knob: the steady-state zero-allocation contract of the query hot path is
+// binary, and 0 -> 1 allocs/op is precisely the regression the AllocsPerRun
+// guards exist to catch. Like the latency gate, memory findings downgrade
+// to warnings across differing machine identities (a Go version bump can
+// legitimately change allocation counts).
+//
 // Usage: go run ./scripts/benchcheck [-prev PREV.json] BENCH_X.json [...]
 package main
 
@@ -100,28 +109,18 @@ func sameIdentity(a, b *doc) bool {
 }
 
 // compare runs trajectory mode: cur against prev. Missing methods are
-// fatal; regressions beyond maxRegress are fatal on matching identity,
-// warnings otherwise. Returns the number of fatal findings.
-func compare(prevPath string, prev, cur *doc, maxRegress float64) int {
+// fatal; latency regressions beyond maxRegress and memory regressions
+// beyond maxAllocRegress (with previously-zero rows pinned at zero) are
+// fatal on matching identity, warnings otherwise. Returns the number of
+// fatal findings.
+func compare(prevPath string, prev, cur *doc, maxRegress, maxAllocRegress float64) int {
 	curBy := make(map[string]row, len(cur.Results))
 	for _, r := range cur.Results {
 		curBy[r.Method] = r
 	}
 	comparable := sameIdentity(prev, cur)
 	fatal := 0
-	for _, p := range prev.Results {
-		c, ok := curBy[p.Method]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchcheck: method %q present in %s is missing from the new point\n", p.Method, prevPath)
-			fatal++
-			continue
-		}
-		ratio := (*c.NsPerOp - *p.NsPerOp) / *p.NsPerOp
-		if ratio <= maxRegress {
-			continue
-		}
-		msg := fmt.Sprintf("method %q regressed: %.0f -> %.0f ns/op (%+.0f%%, limit %+.0f%%)",
-			p.Method, *p.NsPerOp, *c.NsPerOp, 100*ratio, 100*maxRegress)
+	finding := func(msg string) {
 		if comparable {
 			fmt.Fprintf(os.Stderr, "benchcheck: %s\n", msg)
 			fatal++
@@ -129,12 +128,42 @@ func compare(prevPath string, prev, cur *doc, maxRegress float64) int {
 			fmt.Fprintf(os.Stderr, "benchcheck: warning: %s (measured on different machines — not gating)\n", msg)
 		}
 	}
+	for _, p := range prev.Results {
+		c, ok := curBy[p.Method]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: method %q present in %s is missing from the new point\n", p.Method, prevPath)
+			fatal++
+			continue
+		}
+		if ratio := (*c.NsPerOp - *p.NsPerOp) / *p.NsPerOp; ratio > maxRegress {
+			finding(fmt.Sprintf("method %q regressed: %.0f -> %.0f ns/op (%+.0f%%, limit %+.0f%%)",
+				p.Method, *p.NsPerOp, *c.NsPerOp, 100*ratio, 100*maxRegress))
+		}
+		for unit, vals := range map[string][2]float64{
+			"B/op":      {*p.BytesPerOp, *c.BytesPerOp},
+			"allocs/op": {*p.AllocsPerOp, *c.AllocsPerOp},
+		} {
+			pv, cv := vals[0], vals[1]
+			if pv == 0 {
+				if cv > 0 {
+					finding(fmt.Sprintf("method %q broke its zero-allocation contract: 0 -> %v %s",
+						p.Method, cv, unit))
+				}
+				continue
+			}
+			if ratio := (cv - pv) / pv; ratio > maxAllocRegress {
+				finding(fmt.Sprintf("method %q regressed: %v -> %v %s (%+.0f%%, limit %+.0f%%)",
+					p.Method, pv, cv, unit, 100*ratio, 100*maxAllocRegress))
+			}
+		}
+	}
 	return fatal
 }
 
 func main() {
-	prevPath := flag.String("prev", "", "previous trajectory point to compare against (missing methods fatal; ns/op regressions gate on matching machine identity)")
+	prevPath := flag.String("prev", "", "previous trajectory point to compare against (missing methods fatal; ns/op and memory regressions gate on matching machine identity)")
 	maxRegress := flag.Float64("max-regress", 0.25, "fractional ns/op increase tolerated in -prev mode before failing")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "fractional bytes_per_op/allocs_per_op increase tolerated in -prev mode; previously-zero rows must stay zero regardless")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-prev PREV.json] BENCH_X.json [...]")
@@ -156,7 +185,7 @@ func main() {
 			os.Exit(1)
 		}
 		if prev != nil {
-			if fatal := compare(*prevPath, prev, d, *maxRegress); fatal > 0 {
+			if fatal := compare(*prevPath, prev, d, *maxRegress, *maxAllocRegress); fatal > 0 {
 				fmt.Fprintf(os.Stderr, "benchcheck: %s: %d trajectory failure(s) against %s\n", path, fatal, *prevPath)
 				os.Exit(1)
 			}

@@ -1,18 +1,20 @@
 #!/bin/sh
 # Smoke test of the serving daemon: write a demo index set, boot permserve
-# on a free port, and drive /healthz, one search, a hot reload and /statusz
-# end to end. Exits nonzero on any unexpected answer. Run via
-# `make serve-smoke`.
+# on a free port, and drive /healthz, one search, a hot reload, /statusz
+# and a /metrics scrape (validated with scripts/metricscheck) end to end.
+# Exits nonzero on any unexpected answer. Run via `make serve-smoke`.
 set -eu
 
-BIN=${1:?usage: serve_smoke.sh path/to/permserve}
+BIN=${1:?usage: serve_smoke.sh path/to/permserve path/to/metricscheck}
+MC=${2:?usage: serve_smoke.sh path/to/permserve path/to/metricscheck}
 TMP=$(mktemp -d)
 LOG="$TMP/permserve.log"
 PID=
 trap '[ -n "$PID" ] && kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT INT TERM
 
 "$BIN" -write-demo -dir "$TMP/idx"
-"$BIN" -dir "$TMP/idx" -addr 127.0.0.1:0 -pprof-addr 127.0.0.1:0 >"$LOG" 2>&1 &
+"$BIN" -dir "$TMP/idx" -addr 127.0.0.1:0 -pprof-addr 127.0.0.1:0 \
+    -mutex-profile-fraction 2 -block-profile-rate 1000000 >"$LOG" 2>&1 &
 PID=$!
 
 fail() {
@@ -46,11 +48,23 @@ STATUSZ=$(curl -sf "http://$ADDR/statusz") || fail "statusz request failed"
 echo "$STATUSZ" | grep -q '"requests":1' || fail "statusz did not count the search"
 echo "$STATUSZ" | grep -q '"heap_alloc_bytes":' || fail "statusz missing runtime memory counters"
 
+# The /metrics exposition must parse strictly, hold the histogram
+# invariants, and carry the serving families the dashboards key on.
+curl -sf "http://$ADDR/metrics" >"$TMP/metrics.txt" || fail "metrics scrape failed"
+"$MC" -require permserve_search_requests_total,permserve_queries_total,permserve_search_latency_seconds,permserve_stage_ns_total,permserve_filter_candidates_total,permserve_refine_distances_total,permserve_uptime_seconds "$TMP/metrics.txt" \
+    || fail "metrics page failed metricscheck"
+grep -q 'permserve_search_requests_total{index="dna-vptree"} 1' "$TMP/metrics.txt" \
+    || fail "metrics did not count the search"
+
 # The -pprof-addr sidecar must serve profiles on its own port.
 PPROF_ADDR=$(sed -n 's#.*pprof on http://\([0-9.:]*\)/.*#\1#p' "$LOG" | head -n1)
 [ -n "$PPROF_ADDR" ] || fail "daemon never logged its pprof address"
 curl -sf "http://$PPROF_ADDR/debug/pprof/heap?debug=1" | grep -q 'HeapAlloc' \
     || fail "pprof heap profile not served"
+# Contention profilers are armed by the flags above; the mutex profile must
+# actually serve (sampling on means a well-formed page, hits or not).
+curl -sf "http://$PPROF_ADDR/debug/pprof/mutex?debug=1" | grep -q 'cycles/second' \
+    || fail "pprof mutex profile not served with -mutex-profile-fraction on"
 
 kill "$PID"
 STATUS=0

@@ -99,6 +99,20 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -d "$Q" "http://$RT/v1/indexes/dna
 CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$RT/healthz")
 [ "$CODE" = "503" ] || fail "router healthz answered $CODE with a dead shard, want 503"
 
+# 6b. Metrics: a few more failing queries push the dead shard's replica
+#     past the ejection threshold, then the scraped exposition must parse
+#     strictly and show the shard/replica families with the failure visible.
+for i in 1 2 3; do
+    curl -s -o /dev/null -d "$Q" "http://$RT/v1/indexes/dna/search" || true
+done
+curl -sf "http://$RT/metrics" >"$TMP/rt_metrics.txt" || fail "router metrics scrape failed"
+"$BIN/metricscheck" -require permrouter_requests_total,permrouter_request_latency_seconds,permrouter_shard_latency_seconds,permrouter_shard_failovers_total,permrouter_replica_requests_total,permrouter_replica_failures_total,permrouter_replica_latency_seconds,permrouter_replica_ejections_total,permrouter_replica_readmissions_total "$TMP/rt_metrics.txt" \
+    || fail "router metrics page failed metricscheck"
+grep 'permrouter_replica_failures_total{shard="1",replica="0"}' "$TMP/rt_metrics.txt" | grep -qv ' 0$' \
+    || fail "dead shard's replica failure counter did not move"
+grep 'permrouter_replica_ejections_total{shard="1",replica="0"}' "$TMP/rt_metrics.txt" | grep -qv ' 0$' \
+    || fail "dead shard's replica ejection was not counted"
+
 # 7. Graceful shutdown.
 kill "$RT_PID"
 STATUS=0
